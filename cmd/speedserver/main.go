@@ -1,0 +1,109 @@
+// Command speedserver serves a trained estimator over HTTP (see
+// internal/api for the endpoint list). With -data it loads a datagen
+// directory; otherwise it builds a synthetic city preset.
+//
+// Usage:
+//
+//	speedserver -city t -addr :8080
+//	curl localhost:8080/v1/info
+//	curl 'localhost:8080/v1/seeds?k=50'
+//	curl -X POST localhost:8080/v1/estimate -d '{"slot":0,"reports":[{"road":12,"speed_mps":8.5}]}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/history"
+	"repro/internal/roadnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("speedserver: ")
+
+	var (
+		city = flag.String("city", "default", "dataset preset when -data is unset: b, t or default")
+		data = flag.String("data", "", "directory with network.json + history.thdb from datagen")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var net *roadnet.Network
+	var db *history.DB
+	if *data != "" {
+		var err error
+		net, db, err = load(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var cfg dataset.Config
+		switch *city {
+		case "b":
+			cfg = dataset.BCity()
+		case "t":
+			cfg = dataset.TCity()
+		case "default":
+			cfg = dataset.DefaultConfig()
+		default:
+			log.Fatalf("unknown -city %q", *city)
+		}
+		log.Printf("building %s-city dataset...", *city)
+		d, err := dataset.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, db = d.Net, d.DB
+	}
+
+	log.Printf("training estimator over %d roads...", net.NumRoads())
+	t0 := time.Now()
+	est, err := core.New(net, db, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained in %v", time.Since(t0).Round(time.Millisecond))
+
+	srv, err := api.NewServer(est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}
+
+func load(dir string) (*roadnet.Network, *history.DB, error) {
+	f, err := os.Open(filepath.Join(dir, "network.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	net, err := roadnet.ReadJSON(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := os.Open(filepath.Join(dir, "history.thdb"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer g.Close()
+	db, err := history.ReadDB(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, db, nil
+}

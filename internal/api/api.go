@@ -1,0 +1,276 @@
+// Package api exposes a trained estimator as a JSON-over-HTTP service: the
+// deployment surface a traffic-information product would put in front of
+// the paper's system. Endpoints:
+//
+//	GET  /health            liveness probe
+//	GET  /v1/info           network and model statistics
+//	GET  /v1/seeds?k=NN     select a seed set of size k (cached per k)
+//	GET  /v1/roads/{id}     road metadata + historical profile for a slot
+//	POST /v1/estimate       run one estimation round from crowd reports
+//	POST /v1/map            estimation round rendered as an ASCII congestion map
+//
+// The handler is safe for concurrent use; estimation rounds share the
+// immutable estimator.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/roadnet"
+)
+
+// Server wires a trained estimator into an http.Handler.
+type Server struct {
+	est *core.Estimator
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	seedCache map[int][]roadnet.RoadID
+}
+
+// NewServer returns a Server for a trained estimator.
+func NewServer(est *core.Estimator) (*Server, error) {
+	if est == nil {
+		return nil, fmt.Errorf("api: estimator is required")
+	}
+	s := &Server{est: est, mux: http.NewServeMux(), seedCache: map[int][]roadnet.RoadID{}}
+	s.mux.HandleFunc("GET /health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/seeds", s.handleSeeds)
+	s.mux.HandleFunc("GET /v1/roads/{id}", s.handleRoad)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// infoResponse summarises the deployment.
+type infoResponse struct {
+	Roads          int     `json:"roads"`
+	Junctions      int     `json:"junctions"`
+	LengthKM       float64 `json:"length_km"`
+	CorrEdges      int     `json:"corr_edges"`
+	CorrMeanDegree float64 `json:"corr_mean_degree"`
+	SlotMinutes    float64 `json:"slot_minutes"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	net := s.est.Net()
+	writeJSON(w, http.StatusOK, infoResponse{
+		Roads:          net.NumRoads(),
+		Junctions:      net.NumNodes(),
+		LengthKM:       net.TotalLength() / 1000,
+		CorrEdges:      s.est.Graph().NumEdges(),
+		CorrMeanDegree: s.est.Graph().MeanDegree(),
+		SlotMinutes:    s.est.DB().Cal().Width().Minutes(),
+	})
+}
+
+// seedsResponse lists a selected seed set.
+type seedsResponse struct {
+	K       int              `json:"k"`
+	Seeds   []roadnet.RoadID `json:"seeds"`
+	Benefit float64          `json:"benefit"`
+}
+
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	kStr := r.URL.Query().Get("k")
+	if kStr == "" {
+		writeErr(w, http.StatusBadRequest, "missing query parameter k")
+		return
+	}
+	k, err := strconv.Atoi(kStr)
+	if err != nil || k < 1 || k > s.est.Net().NumRoads() {
+		writeErr(w, http.StatusBadRequest, "k must be an integer in [1, %d]", s.est.Net().NumRoads())
+		return
+	}
+	seeds, err := s.seedsFor(k)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "seed selection failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, seedsResponse{K: k, Seeds: seeds, Benefit: s.est.SeedBenefit(seeds)})
+}
+
+// seedsFor caches seed sets per budget: selection retrains the
+// seed-conditional model, which is too expensive per request.
+func (s *Server) seedsFor(k int) ([]roadnet.RoadID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seeds, ok := s.seedCache[k]; ok {
+		return seeds, nil
+	}
+	seeds, err := s.est.SelectSeeds(k)
+	if err != nil {
+		return nil, err
+	}
+	s.seedCache[k] = seeds
+	return seeds, nil
+}
+
+// roadResponse describes one road.
+type roadResponse struct {
+	ID             roadnet.RoadID `json:"id"`
+	Class          string         `json:"class"`
+	LengthM        float64        `json:"length_m"`
+	Name           string         `json:"name,omitempty"`
+	HistoricalMean *float64       `json:"historical_mean_mps,omitempty"`
+	TrendPriorUp   *float64       `json:"trend_prior_up,omitempty"`
+}
+
+func (s *Server) handleRoad(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimSpace(r.PathValue("id"))
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 || id >= s.est.Net().NumRoads() {
+		writeErr(w, http.StatusNotFound, "unknown road %q", idStr)
+		return
+	}
+	road := s.est.Net().Road(roadnet.RoadID(id))
+	resp := roadResponse{
+		ID:      road.ID,
+		Class:   road.Class.String(),
+		LengthM: road.Length(),
+		Name:    road.Name,
+	}
+	if slotStr := r.URL.Query().Get("slot"); slotStr != "" {
+		slot, err := strconv.Atoi(slotStr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "slot must be an integer")
+			return
+		}
+		if mean, ok := s.est.DB().Mean(road.ID, slot); ok {
+			resp.HistoricalMean = &mean
+			p := s.est.DB().PUp(road.ID, slot)
+			resp.TrendPriorUp = &p
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// estimateRequest is one estimation round's input.
+type estimateRequest struct {
+	Slot    int          `json:"slot"`
+	Reports []seedReport `json:"reports"`
+}
+
+type seedReport struct {
+	Road  roadnet.RoadID `json:"road"`
+	Speed float64        `json:"speed_mps"`
+}
+
+// estimateResponse returns the full network estimate.
+type estimateResponse struct {
+	Slot   int            `json:"slot"`
+	Roads  []roadEstimate `json:"roads"`
+	Seeded int            `json:"seeded"`
+}
+
+type roadEstimate struct {
+	Road     roadnet.RoadID `json:"road"`
+	SpeedMPS float64        `json:"speed_mps"`
+	Rel      float64        `json:"rel"`
+	TrendUp  bool           `json:"trend_up"`
+	PUp      float64        `json:"p_up"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.runEstimate(w, r)
+	if !ok {
+		return
+	}
+	out := estimateResponse{Slot: res.Slot, Seeded: res.seeded}
+	out.Roads = make([]roadEstimate, len(res.Speeds))
+	for i := range res.Speeds {
+		out.Roads[i] = roadEstimate{
+			Road:     roadnet.RoadID(i),
+			SpeedMPS: res.Speeds[i],
+			Rel:      res.Rels[i],
+			TrendUp:  res.TrendUp[i],
+			PUp:      res.PUp[i],
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// estimateResult carries an estimate plus the seed count used.
+type estimateResult struct {
+	*core.Estimate
+	seeded int
+}
+
+// runEstimate parses an estimateRequest and runs the round, writing the
+// error response itself on failure.
+func (s *Server) runEstimate(w http.ResponseWriter, r *http.Request) (estimateResult, bool) {
+	var req estimateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return estimateResult{}, false
+	}
+	if len(req.Reports) == 0 {
+		writeErr(w, http.StatusBadRequest, "at least one seed report is required")
+		return estimateResult{}, false
+	}
+	seedSpeeds := make(map[roadnet.RoadID]float64, len(req.Reports))
+	for _, rep := range req.Reports {
+		seedSpeeds[rep.Road] = rep.Speed
+	}
+	res, err := s.est.Estimate(req.Slot, seedSpeeds)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "estimation failed: %v", err)
+		return estimateResult{}, false
+	}
+	return estimateResult{Estimate: res, seeded: len(seedSpeeds)}, true
+}
+
+// handleMap runs an estimation round and renders it as a plain-text ASCII
+// congestion map. Width comes from ?width= (default 64).
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	width := 64
+	if ws := r.URL.Query().Get("width"); ws != "" {
+		v, err := strconv.Atoi(ws)
+		if err != nil || v < 8 || v > 400 {
+			writeErr(w, http.StatusBadRequest, "width must be an integer in [8, 400]")
+			return
+		}
+		width = v
+	}
+	res, ok := s.runEstimate(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, render.SpeedMap(s.est.Net(), res.Rels, width))
+	_, _ = io.WriteString(w, render.Legend()+"\n")
+}

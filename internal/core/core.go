@@ -1,0 +1,510 @@
+// Package core assembles the paper's complete system, called TrendSpeed in
+// this reproduction: given a road network and a historical speed database it
+//
+//  1. builds the trend-correlation graph (internal/corr),
+//  2. trains the hierarchical linear model (internal/hlm),
+//  3. prepares the seed-selection problem (internal/seedsel),
+//
+// and then serves the real-time loop: SelectSeeds(K) → crowdsource the
+// seeds' speeds → Estimate(slot, seedSpeeds) → network-wide speeds, where
+// Estimate runs the two-step trend→speed inference (internal/mrf +
+// internal/hlm).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/corr"
+	"repro/internal/crowd"
+	"repro/internal/geo"
+	"repro/internal/history"
+	"repro/internal/hlm"
+	"repro/internal/mrf"
+	"repro/internal/roadnet"
+	"repro/internal/seedsel"
+)
+
+// Options configures estimator construction. The zero value is NOT valid;
+// start from DefaultOptions.
+type Options struct {
+	Corr    corr.Config
+	HLM     hlm.Config
+	SeedSel seedsel.Config
+	BP      mrf.BPConfig
+
+	// Engine overrides the trend-inference engine (default: loopy BP with
+	// the BP config above).
+	Engine mrf.Engine
+	// Selector overrides the seed-selection algorithm (default: lazy
+	// greedy).
+	Selector seedsel.Selector
+
+	// SeedTrendNoise is the assumed relative-speed noise of crowdsourced
+	// seed reports, used to soften seed trend evidence: a seed observed at
+	// 1.01× its historical mean is weak evidence of an "up" trend, one at
+	// 1.3× is near-certain. 0 means the default of 0.08.
+	SeedTrendNoise float64
+	// PreTrendNoise is the assumed residual noise of the magnitude
+	// pre-pass when converting its estimates to trend priors. 0 means the
+	// default of 0.12.
+	PreTrendNoise float64
+	// TrendTemper scales the MRF edge potentials toward neutrality to
+	// compensate loopy BP's evidence double-counting; in (0, 1], 0 means
+	// the default of 0.2.
+	TrendTemper float64
+	// Specialize configures seed-conditional training (hlm.SeedModel);
+	// the zero value means hlm.DefaultSpecializeConfig.
+	Specialize hlm.SpecializeConfig
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		Corr:    corr.DefaultConfig(),
+		HLM:     hlm.DefaultConfig(),
+		SeedSel: seedsel.DefaultConfig(),
+		BP:      mrf.DefaultBPConfig(),
+	}
+}
+
+// Estimator is the trained system. It is immutable after New and safe for
+// concurrent Estimate calls (engines and the HLM do not share mutable
+// state), except for engines with internal randomness configured by the
+// caller.
+type Estimator struct {
+	net   *roadnet.Network
+	db    *history.DB
+	graph *corr.Graph
+	model *hlm.Model
+
+	problem        *seedsel.Problem
+	selector       seedsel.Selector
+	engine         mrf.Engine
+	seedTrendNoise float64
+	preTrendNoise  float64
+	trendTemper    float64
+
+	// seedModel is the model specialised to the last Prepare'd seed set;
+	// nil until Prepare (or SelectSeeds) runs.
+	seedModel *hlm.SeedModel
+	special   hlm.SpecializeConfig
+}
+
+// New builds the correlation graph, trains the HLM and prepares seed
+// selection. This is the expensive offline phase; Estimate calls are cheap.
+func New(net *roadnet.Network, db *history.DB, opts Options) (*Estimator, error) {
+	if net == nil || db == nil {
+		return nil, fmt.Errorf("core: network and history are required")
+	}
+	if net.NumRoads() != db.NumRoads() {
+		return nil, fmt.Errorf("core: network has %d roads, history covers %d", net.NumRoads(), db.NumRoads())
+	}
+	graph, err := corr.Build(net, db, opts.Corr)
+	if err != nil {
+		return nil, fmt.Errorf("core: building correlation graph: %w", err)
+	}
+	// The HLM's pooled levels: road class (same-class roads co-move
+	// city-wide), local area (congestion is spatially smooth) and the whole
+	// city (global demand swings).
+	hlmCfg := opts.HLM
+	if hlmCfg.Levels == nil {
+		hlmCfg.Levels = poolingLevels(net)
+	}
+	model, err := hlm.Train(graph, db, hlmCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: training HLM: %w", err)
+	}
+	problem, err := seedsel.NewProblem(graph, seedsel.BenefitWeights(net, db), opts.SeedSel)
+	if err != nil {
+		return nil, fmt.Errorf("core: preparing seed selection: %w", err)
+	}
+	engine := opts.Engine
+	if engine == nil {
+		bp, err := mrf.NewBP(opts.BP)
+		if err != nil {
+			return nil, fmt.Errorf("core: building BP engine: %w", err)
+		}
+		engine = bp
+	}
+	selector := opts.Selector
+	if selector == nil {
+		selector = seedsel.Lazy{}
+	}
+	noise := opts.SeedTrendNoise
+	if noise == 0 {
+		noise = 0.08
+	}
+	preNoise := opts.PreTrendNoise
+	if preNoise == 0 {
+		preNoise = 0.12
+	}
+	temper := opts.TrendTemper
+	if temper == 0 {
+		temper = 0.2
+	}
+	if temper < 0 || temper > 1 {
+		return nil, fmt.Errorf("core: TrendTemper must be in (0, 1], got %v", temper)
+	}
+	special := opts.Specialize
+	if special == (hlm.SpecializeConfig{}) {
+		special = hlm.DefaultSpecializeConfig()
+	}
+	return &Estimator{
+		net: net, db: db, graph: graph, model: model,
+		problem: problem, selector: selector, engine: engine,
+		seedTrendNoise: noise, preTrendNoise: preNoise, trendTemper: temper,
+		special: special,
+	}, nil
+}
+
+// combineOdds multiplies two probabilities' odds (naive-Bayes combination of
+// roughly independent evidence), keeping the result in (0, 1).
+func combineOdds(a, b float64) float64 {
+	const eps = 1e-6
+	clip := func(p float64) float64 {
+		if p < eps {
+			return eps
+		}
+		if p > 1-eps {
+			return 1 - eps
+		}
+		return p
+	}
+	a, b = clip(a), clip(b)
+	odds := (a / (1 - a)) * (b / (1 - b))
+	return odds / (1 + odds)
+}
+
+// trendEvidence converts an observed relative speed into the probability
+// that the road's true trend is up, assuming Gaussian observation noise of
+// the given standard deviation: Φ((rel − 1)/σ).
+func trendEvidence(rel, sigma float64) float64 {
+	if sigma <= 0 {
+		if rel >= 1 {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc(-(rel-1)/(sigma*math.Sqrt2))
+}
+
+// poolingLevels builds the default HLM pooled groupings for a network:
+// road class, spatial cells at three nested scales, and city-wide. The
+// nested scales let the inverse-variance combiner use the finest area that
+// actually contains seeds.
+func poolingLevels(net *roadnet.Network) [][]int {
+	n := net.NumRoads()
+	class := make([]int, n)
+	city := make([]int, n)
+	levels := [][]int{class, city}
+	bounds := net.Bounds()
+	for _, cell := range []float64{600, 1200, 2400} {
+		area := make([]int, n)
+		cols := int(bounds.Width()/cell) + 1
+		for r := 0; r < n; r++ {
+			road := net.Road(roadnet.RoadID(r))
+			mid := road.Geometry.At(road.Length() / 2)
+			cx := int((mid.X - bounds.Min.X) / cell)
+			cy := int((mid.Y - bounds.Min.Y) / cell)
+			area[r] = cy*cols + cx
+		}
+		levels = append(levels, area)
+	}
+	for r := 0; r < n; r++ {
+		class[r] = int(net.Road(roadnet.RoadID(r)).Class)
+	}
+	return levels
+}
+
+// Net returns the road network.
+func (e *Estimator) Net() *roadnet.Network { return e.net }
+
+// DB returns the historical database.
+func (e *Estimator) DB() *history.DB { return e.db }
+
+// Graph returns the correlation graph.
+func (e *Estimator) Graph() *corr.Graph { return e.graph }
+
+// Model returns the trained HLM.
+func (e *Estimator) Model() *hlm.Model { return e.model }
+
+// Problem returns the prepared seed-selection instance.
+func (e *Estimator) Problem() *seedsel.Problem { return e.problem }
+
+// SelectSeeds chooses k seed roads with the configured selector and
+// prepares the seed-conditional inference model for them.
+func (e *Estimator) SelectSeeds(k int) ([]roadnet.RoadID, error) {
+	seeds, err := e.selector.Select(e.problem, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Prepare(seeds); err != nil {
+		return nil, err
+	}
+	return seeds, nil
+}
+
+// Prepare trains the seed-conditional regressions for a fixed seed set (the
+// online deployment step after seed selection). Estimate calls made before
+// Prepare — or with a seed set disjoint from the prepared one — use the
+// generic propagation model.
+func (e *Estimator) Prepare(seeds []roadnet.RoadID) error {
+	for _, s := range seeds {
+		if int(s) < 0 || int(s) >= e.net.NumRoads() {
+			return fmt.Errorf("core: seed road %d out of range [0,%d)", s, e.net.NumRoads())
+		}
+	}
+	sm, err := e.model.Specialize(e.db, seeds, e.seedCandidates(seeds), e.special)
+	if err != nil {
+		return fmt.Errorf("core: specialising to seed set: %w", err)
+	}
+	e.seedModel = sm
+	return nil
+}
+
+// seedCandidates returns a provider of correlation-scoring candidates for
+// Specialize: the spatially nearest seeds plus the nearest seeds of the
+// road's own class (same-class roads co-move even when far apart).
+func (e *Estimator) seedCandidates(seeds []roadnet.RoadID) func(roadnet.RoadID) []roadnet.RoadID {
+	type seedPos struct {
+		id    roadnet.RoadID
+		pos   geo.Point
+		class roadnet.RoadClass
+	}
+	positions := make([]seedPos, len(seeds))
+	for i, s := range seeds {
+		road := e.net.Road(s)
+		positions[i] = seedPos{id: s, pos: road.Geometry.At(road.Length() / 2), class: road.Class}
+	}
+	return func(r roadnet.RoadID) []roadnet.RoadID {
+		road := e.net.Road(r)
+		mid := road.Geometry.At(road.Length() / 2)
+		type cand struct {
+			id   roadnet.RoadID
+			dist float64
+		}
+		var all, same []cand
+		for _, sp := range positions {
+			c := cand{id: sp.id, dist: mid.Dist(sp.pos)}
+			all = append(all, c)
+			if sp.class == road.Class {
+				same = append(same, c)
+			}
+		}
+		byDist := func(cs []cand) {
+			sort.Slice(cs, func(i, j int) bool {
+				if cs[i].dist != cs[j].dist {
+					return cs[i].dist < cs[j].dist
+				}
+				return cs[i].id < cs[j].id
+			})
+		}
+		byDist(all)
+		byDist(same)
+		seen := map[roadnet.RoadID]bool{}
+		var out []roadnet.RoadID
+		take := func(cs []cand, n int) {
+			for i := 0; i < len(cs) && i < n; i++ {
+				if !seen[cs[i].id] {
+					seen[cs[i].id] = true
+					out = append(out, cs[i].id)
+				}
+			}
+		}
+		take(all, 8)
+		take(same, 6)
+		return out
+	}
+}
+
+// SeedBenefit evaluates the benefit function on a seed set (diagnostics and
+// experiments).
+func (e *Estimator) SeedBenefit(seeds []roadnet.RoadID) float64 {
+	return e.problem.Benefit(seeds)
+}
+
+// Estimate is the result of one estimation round.
+type Estimate struct {
+	// Slot the estimate is for.
+	Slot int
+	// Speeds holds per-road speed estimates in m/s; 0 means the road has no
+	// history and cannot be estimated.
+	Speeds []float64
+	// Rels holds the relative-speed estimates behind Speeds.
+	Rels []float64
+	// TrendUp holds the inferred trend per road.
+	TrendUp []bool
+	// PUp holds the trend marginals from the graphical model.
+	PUp []float64
+}
+
+// EstimateOptions tweak a single estimation round (ablations).
+type EstimateOptions struct {
+	// FlatHLM disables the hierarchical schedule (ablation A2).
+	FlatHLM bool
+	// TrendFree disables the trend step entirely: no graphical model, and
+	// every regression uses its trend-agnostic variant (ablation A1 — the
+	// paper's core "from trends to speeds" claim is the gap this opens).
+	TrendFree bool
+	// NoSeedModel disables the seed-conditional regressions, leaving only
+	// the generic propagation model (ablation A2: the value of the
+	// hierarchy's seed level).
+	NoSeedModel bool
+	// Engine overrides the trend engine for this call only.
+	Engine mrf.Engine
+}
+
+// Estimate runs the two-step inference for one slot given crowdsourced seed
+// speeds (absolute, m/s). Seeds with no historical mean are ignored — their
+// relative speed is undefined.
+func (e *Estimator) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
+	return e.EstimateWith(slot, seedSpeeds, EstimateOptions{})
+}
+
+// EstimateWith is Estimate with per-call overrides.
+func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
+	n := e.net.NumRoads()
+	seedRels := make(map[roadnet.RoadID]float64, len(seedSpeeds))
+	for road, speed := range seedSpeeds {
+		if int(road) < 0 || int(road) >= n {
+			return nil, fmt.Errorf("core: seed road %d out of range", road)
+		}
+		if speed <= 0 || math.IsNaN(speed) {
+			return nil, fmt.Errorf("core: invalid seed speed %v on road %d", speed, road)
+		}
+		mean, ok := e.db.Mean(road, slot)
+		if !ok || mean <= 0 {
+			continue
+		}
+		seedRels[road] = speed / mean
+	}
+
+	if opts.TrendFree {
+		rels, err := e.estimateRels(&hlm.Request{
+			Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, n),
+			TrendFree: true, Flat: opts.FlatHLM,
+		}, opts.NoSeedModel)
+		if err != nil {
+			return nil, fmt.Errorf("core: trend-free inference: %w", err)
+		}
+		pUp := make([]float64, n)
+		trendUp := make([]bool, n)
+		for r := 0; r < n; r++ {
+			pUp[r] = 0.5
+			trendUp[r] = rels[r] >= 1
+		}
+		return &Estimate{
+			Slot: slot, Speeds: hlm.SpeedsOf(e.db, slot, rels), Rels: rels,
+			TrendUp: trendUp, PUp: pUp,
+		}, nil
+	}
+
+	// Step 0: a trend-free magnitude pre-pass. Its relative-speed estimates
+	// carry trend information no binary propagation can recover (a road
+	// estimated at 0.8× its mean is almost surely trending down), so they
+	// become the node priors of the graphical model.
+	preTrend := make([]bool, n) // ignored in trend-free mode
+	preRels, err := e.estimateRels(&hlm.Request{
+		Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
+	}, opts.NoSeedModel)
+	if err != nil {
+		return nil, fmt.Errorf("core: magnitude pre-pass: %w", err)
+	}
+
+	// Step 1: trend inference over the MRF. Node priors carry only *local*
+	// evidence — the historical trend prior, and for seed roads the soft
+	// probability that the trend is up given the noisy crowd observation
+	// (never a hard clamp: a report at 1.01× the mean must not drag its
+	// whole neighbourhood to "up"). The spatially-correlated pre-pass
+	// evidence is fused after inference; feeding it into the node priors
+	// would make BP double-count it around every loop.
+	priors := make([]float64, n)
+	for r := 0; r < n; r++ {
+		priors[r] = e.db.PUp(roadnet.RoadID(r), slot)
+	}
+	for road, rel := range seedRels {
+		priors[road] = trendEvidence(rel, e.seedTrendNoise)
+	}
+	model, err := mrf.NewModel(e.graph, priors)
+	if err != nil {
+		return nil, fmt.Errorf("core: building trend model: %w", err)
+	}
+	if err := model.SetEdgeTemper(e.trendTemper); err != nil {
+		return nil, fmt.Errorf("core: tempering trend model: %w", err)
+	}
+	engine := opts.Engine
+	if engine == nil {
+		engine = e.engine
+	}
+	trends, err := engine.Infer(model, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: trend inference: %w", err)
+	}
+	// Fuse the graphical posterior with the magnitude evidence in log-odds
+	// space: the two views — binary propagation and calibrated magnitude
+	// interpolation — fail in different places.
+	pUp := make([]float64, n)
+	trendUp := make([]bool, n)
+	for r := 0; r < n; r++ {
+		pUp[r] = combineOdds(trends.PUp[r], trendEvidence(preRels[r], e.preTrendNoise))
+		trendUp[r] = pUp[r] >= 0.5
+	}
+	for road, rel := range seedRels {
+		p := trendEvidence(rel, e.seedTrendNoise)
+		pUp[road] = p
+		trendUp[road] = p >= 0.5
+	}
+
+	// Step 2: trend-conditioned hierarchical regression.
+	rels, err := e.estimateRels(&hlm.Request{
+		Slot:     slot,
+		SeedRels: seedRels,
+		TrendUp:  trendUp,
+		PUp:      pUp,
+		Flat:     opts.FlatHLM,
+	}, opts.NoSeedModel)
+	if err != nil {
+		return nil, fmt.Errorf("core: speed inference: %w", err)
+	}
+	return &Estimate{
+		Slot:    slot,
+		Speeds:  hlm.SpeedsOf(e.db, slot, rels),
+		Rels:    rels,
+		TrendUp: trendUp,
+		PUp:     pUp,
+	}, nil
+}
+
+// estimateRels routes an HLM request through the seed-conditional model
+// when one is prepared and the request's seeds overlap it; otherwise the
+// generic propagation model runs.
+func (e *Estimator) estimateRels(req *hlm.Request, noSeedModel bool) ([]float64, error) {
+	if e.seedModel != nil && !noSeedModel {
+		overlap := 0
+		for r := range req.SeedRels {
+			if e.seedModel.SeedSet(r) {
+				overlap++
+			}
+		}
+		if overlap*2 >= len(req.SeedRels) && overlap > 0 {
+			return e.seedModel.Estimate(req)
+		}
+	}
+	return e.model.Estimate(req)
+}
+
+// EstimateFromCrowd converts raw crowd reports into the seed-speed map and
+// runs Estimate; the convenience used by the real-time loop.
+func (e *Estimator) EstimateFromCrowd(slot int, reports []crowd.Report) (*Estimate, error) {
+	seeds := make(map[roadnet.RoadID]float64, len(reports))
+	for _, r := range reports {
+		seeds[r.Road] = r.Speed
+	}
+	return e.Estimate(slot, seeds)
+}
+
+// ExportPoolingLevels exposes the default pooling construction for
+// diagnostics and experiments.
+func ExportPoolingLevels(net *roadnet.Network) [][]int { return poolingLevels(net) }

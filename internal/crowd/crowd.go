@@ -1,0 +1,199 @@
+// Package crowd simulates the crowdsourcing platform the paper obtains seed
+// speeds from: a pool of workers (drivers on the seed roads) who answer
+// speed queries with individual bias, noise, unreliability and occasional
+// malice; and an aggregation step that turns raw worker reports into one
+// robust speed per seed road.
+//
+// The real platform is a substitution (DESIGN.md §5): what the estimator
+// sees is exactly what it would see in production — noisy, occasionally
+// missing seed speeds with a per-query cost — which is the interface the
+// budget-K formulation assumes.
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/roadnet"
+)
+
+// Config parameterises the worker pool and platform.
+type Config struct {
+	// Workers is the pool size.
+	Workers int
+	// WorkersPerTask is how many workers are asked per seed road.
+	WorkersPerTask int
+	// ResponseRate is the probability an asked worker answers.
+	ResponseRate float64
+	// NoiseSD is each worker's per-report multiplicative log-normal noise.
+	NoiseSD float64
+	// BiasSD is the per-worker persistent multiplicative bias spread
+	// (a worker consistently over- or under-estimates).
+	BiasSD float64
+	// MaliciousFraction of workers report garbage (uniform speeds unrelated
+	// to the truth).
+	MaliciousFraction float64
+	// CostPerQuery is the payment per asked worker (unit-free).
+	CostPerQuery float64
+	// Seed drives the platform PRNG.
+	Seed int64
+}
+
+// DefaultConfig returns a realistic, mildly adversarial platform.
+func DefaultConfig() Config {
+	return Config{
+		Workers:           500,
+		WorkersPerTask:    5,
+		ResponseRate:      0.85,
+		NoiseSD:           0.08,
+		BiasSD:            0.05,
+		MaliciousFraction: 0.03,
+		CostPerQuery:      1,
+		Seed:              1,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c *Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("crowd: Workers must be ≥ 1, got %d", c.Workers)
+	}
+	if c.WorkersPerTask < 1 || c.WorkersPerTask > c.Workers {
+		return fmt.Errorf("crowd: WorkersPerTask must be in [1, %d], got %d", c.Workers, c.WorkersPerTask)
+	}
+	if c.ResponseRate <= 0 || c.ResponseRate > 1 {
+		return fmt.Errorf("crowd: ResponseRate must be in (0, 1], got %v", c.ResponseRate)
+	}
+	if c.NoiseSD < 0 || c.BiasSD < 0 {
+		return fmt.Errorf("crowd: noise and bias must be ≥ 0")
+	}
+	if c.MaliciousFraction < 0 || c.MaliciousFraction >= 1 {
+		return fmt.Errorf("crowd: MaliciousFraction must be in [0, 1), got %v", c.MaliciousFraction)
+	}
+	if c.CostPerQuery < 0 {
+		return fmt.Errorf("crowd: CostPerQuery must be ≥ 0, got %v", c.CostPerQuery)
+	}
+	return nil
+}
+
+// worker is one crowd participant.
+type worker struct {
+	bias      float64
+	malicious bool
+}
+
+// Platform is the simulated crowdsourcing service.
+type Platform struct {
+	cfg     Config
+	workers []worker
+	rng     *rand.Rand
+
+	totalCost    float64
+	totalQueries int
+	totalAnswers int
+}
+
+// New creates a Platform with a fixed worker pool.
+func New(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Platform{cfg: cfg, rng: rng, workers: make([]worker, cfg.Workers)}
+	for i := range p.workers {
+		p.workers[i] = worker{
+			bias:      math.Exp(rng.NormFloat64() * cfg.BiasSD),
+			malicious: rng.Float64() < cfg.MaliciousFraction,
+		}
+	}
+	return p, nil
+}
+
+// Report is the platform's aggregated answer for one seed road.
+type Report struct {
+	Road      roadnet.RoadID
+	Speed     float64 // aggregated speed, m/s
+	Responses int     // raw answers behind the aggregate
+}
+
+// Stats accumulates platform accounting across queries.
+type Stats struct {
+	Cost    float64 // total payments
+	Queries int     // workers asked
+	Answers int     // responses received
+}
+
+// QuerySeeds asks the crowd for the current speed on every seed road. truth
+// indexes true speeds by road ID. Roads whose every asked worker stayed
+// silent are absent from the result — callers must tolerate missing seeds.
+func (p *Platform) QuerySeeds(seeds []roadnet.RoadID, truth []float64) ([]Report, Stats, error) {
+	var stats Stats
+	reports := make([]Report, 0, len(seeds))
+	for _, s := range seeds {
+		if int(s) < 0 || int(s) >= len(truth) {
+			return nil, stats, fmt.Errorf("crowd: seed road %d outside truth table of %d roads", s, len(truth))
+		}
+		answers := p.askWorkers(truth[s], &stats)
+		if len(answers) == 0 {
+			continue
+		}
+		reports = append(reports, Report{
+			Road:      s,
+			Speed:     aggregate(answers),
+			Responses: len(answers),
+		})
+	}
+	return reports, stats, nil
+}
+
+// askWorkers simulates one task: WorkersPerTask randomly drawn workers, each
+// answering with probability ResponseRate.
+func (p *Platform) askWorkers(trueSpeed float64, stats *Stats) []float64 {
+	var answers []float64
+	for i := 0; i < p.cfg.WorkersPerTask; i++ {
+		w := &p.workers[p.rng.Intn(len(p.workers))]
+		stats.Queries++
+		stats.Cost += p.cfg.CostPerQuery
+		if p.rng.Float64() > p.cfg.ResponseRate {
+			continue
+		}
+		stats.Answers++
+		if w.malicious {
+			// Garbage uniform over a plausible speed range.
+			answers = append(answers, 1+p.rng.Float64()*29)
+			continue
+		}
+		answers = append(answers, trueSpeed*w.bias*math.Exp(p.rng.NormFloat64()*p.cfg.NoiseSD))
+	}
+	return answers
+}
+
+// aggregate is the robust combiner: with four or more answers it drops the
+// extremes before averaging (a trimmed mean), defeating lone malicious
+// reports; fewer answers are plainly averaged.
+func aggregate(answers []float64) float64 {
+	sort.Float64s(answers)
+	if len(answers) >= 4 {
+		answers = answers[1 : len(answers)-1]
+	}
+	var sum float64
+	for _, a := range answers {
+		sum += a
+	}
+	return sum / float64(len(answers))
+}
+
+// Stats returns cumulative accounting since the platform was created.
+func (p *Platform) Stats() Stats {
+	return Stats{Cost: p.totalCost, Queries: p.totalQueries, Answers: p.totalAnswers}
+}
+
+// Accumulate folds per-call stats into the platform totals; callers that
+// track budgets across slots use this.
+func (p *Platform) Accumulate(s Stats) {
+	p.totalCost += s.Cost
+	p.totalQueries += s.Queries
+	p.totalAnswers += s.Answers
+}

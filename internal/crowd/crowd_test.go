@@ -1,0 +1,199 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Workers: 0, WorkersPerTask: 1, ResponseRate: 1},
+		{Workers: 5, WorkersPerTask: 0, ResponseRate: 1},
+		{Workers: 5, WorkersPerTask: 6, ResponseRate: 1},
+		{Workers: 5, WorkersPerTask: 1, ResponseRate: 0},
+		{Workers: 5, WorkersPerTask: 1, ResponseRate: 1.5},
+		{Workers: 5, WorkersPerTask: 1, ResponseRate: 1, NoiseSD: -1},
+		{Workers: 5, WorkersPerTask: 1, ResponseRate: 1, MaliciousFraction: 1},
+		{Workers: 5, WorkersPerTask: 1, ResponseRate: 1, CostPerQuery: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func truthTable(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestReportsApproximateTruth(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthTable(100, 12)
+	seeds := make([]roadnet.RoadID, 50)
+	for i := range seeds {
+		seeds[i] = roadnet.RoadID(i)
+	}
+	reports, stats, err := p.QuerySeeds(seeds, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 45 {
+		t.Fatalf("only %d/50 seeds reported", len(reports))
+	}
+	var sum float64
+	for _, r := range reports {
+		if r.Speed <= 0 {
+			t.Fatalf("non-positive aggregated speed %v", r.Speed)
+		}
+		sum += r.Speed
+	}
+	mean := sum / float64(len(reports))
+	if math.Abs(mean-12) > 1.0 {
+		t.Errorf("mean reported speed %v, want ≈12", mean)
+	}
+	if stats.Queries != 50*DefaultConfig().WorkersPerTask {
+		t.Errorf("queries = %d", stats.Queries)
+	}
+	if stats.Cost != float64(stats.Queries) {
+		t.Errorf("cost = %v for %d queries at unit price", stats.Cost, stats.Queries)
+	}
+	if stats.Answers > stats.Queries || stats.Answers == 0 {
+		t.Errorf("answers = %d of %d queries", stats.Answers, stats.Queries)
+	}
+}
+
+func TestMaliciousWorkersAreResisted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaliciousFraction = 0.15
+	cfg.WorkersPerTask = 7
+	cfg.ResponseRate = 1
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthTable(200, 10)
+	seeds := make([]roadnet.RoadID, 200)
+	for i := range seeds {
+		seeds[i] = roadnet.RoadID(i)
+	}
+	reports, _, err := p.QuerySeeds(seeds, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, r := range reports {
+		if math.Abs(r.Speed-10) > 3 {
+			bad++
+		}
+	}
+	// The trimmed mean should keep gross errors rare despite 15% malice.
+	if frac := float64(bad) / float64(len(reports)); frac > 0.10 {
+		t.Errorf("%.0f%% of aggregates off by >3 m/s", frac*100)
+	}
+}
+
+func TestMissingReportsAtLowResponseRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseRate = 0.05
+	cfg.WorkersPerTask = 1
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthTable(100, 10)
+	seeds := make([]roadnet.RoadID, 100)
+	for i := range seeds {
+		seeds[i] = roadnet.RoadID(i)
+	}
+	reports, _, err := p.QuerySeeds(seeds, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) > 30 {
+		t.Errorf("%d reports at 5%% response rate with 1 worker/task", len(reports))
+	}
+}
+
+func TestQuerySeedsValidatesRoads(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.QuerySeeds([]roadnet.RoadID{5}, truthTable(3, 10)); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestDeterminismForSeed(t *testing.T) {
+	run := func() []Report {
+		p, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, _, err := p.QuerySeeds([]roadnet.RoadID{0, 1, 2}, truthTable(3, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different reports")
+		}
+	}
+}
+
+func TestAggregateTrimming(t *testing.T) {
+	// One wild outlier among ≥4 answers is trimmed away entirely.
+	got := aggregate([]float64{10, 10.5, 9.5, 100})
+	if math.Abs(got-10.25) > 1e-9 { // mean of {10, 10.5} after trimming 9.5 and 100
+		t.Errorf("aggregate = %v", got)
+	}
+	// Fewer than 4 answers: plain mean.
+	got = aggregate([]float64{8, 12})
+	if got != 10 {
+		t.Errorf("aggregate = %v", got)
+	}
+	got = aggregate([]float64{7})
+	if got != 7 {
+		t.Errorf("aggregate = %v", got)
+	}
+}
+
+func TestAccumulateStats(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1, err := p.QuerySeeds([]roadnet.RoadID{0, 1}, truthTable(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Accumulate(s1)
+	_, s2, err := p.QuerySeeds([]roadnet.RoadID{0}, truthTable(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Accumulate(s2)
+	total := p.Stats()
+	if total.Queries != s1.Queries+s2.Queries || total.Cost != s1.Cost+s2.Cost || total.Answers != s1.Answers+s2.Answers {
+		t.Errorf("accumulated stats %+v != %+v + %+v", total, s1, s2)
+	}
+}

@@ -1,0 +1,103 @@
+package geo
+
+import "math"
+
+// GridIndex is a uniform spatial hash over items identified by integer IDs.
+// It supports nearest-neighbour style queries used by map matching: "give me
+// every item whose bounding box intersects a query disc". The index is built
+// once and is safe for concurrent readers.
+type GridIndex struct {
+	cell   float64
+	bounds Rect
+	nx, ny int
+	cells  [][]int32 // item IDs per cell
+	boxes  []Rect    // bounding box per item, indexed by ID
+}
+
+// NewGridIndex builds an index over n items whose bounding boxes are given by
+// box(i). cellSize is the side length of a cell in metres; values around the
+// typical item size work well.
+func NewGridIndex(n int, cellSize float64, box func(i int) Rect) *GridIndex {
+	if cellSize <= 0 {
+		cellSize = 100
+	}
+	g := &GridIndex{cell: cellSize, boxes: make([]Rect, n)}
+	total := EmptyRect()
+	for i := 0; i < n; i++ {
+		g.boxes[i] = box(i)
+		total = total.Union(g.boxes[i])
+	}
+	if total.Empty() {
+		total = Rect{}
+	}
+	g.bounds = total.Pad(cellSize)
+	g.nx = int(math.Ceil(g.bounds.Width()/cellSize)) + 1
+	g.ny = int(math.Ceil(g.bounds.Height()/cellSize)) + 1
+	if g.nx < 1 {
+		g.nx = 1
+	}
+	if g.ny < 1 {
+		g.ny = 1
+	}
+	g.cells = make([][]int32, g.nx*g.ny)
+	for i := 0; i < n; i++ {
+		g.eachCell(g.boxes[i], func(c int) {
+			g.cells[c] = append(g.cells[c], int32(i))
+		})
+	}
+	return g
+}
+
+// cellIndex returns the flat cell index for plane coordinates, clamped to the
+// grid.
+func (g *GridIndex) cellCoords(p Point) (int, int) {
+	cx := int((p.X - g.bounds.Min.X) / g.cell)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+// eachCell invokes fn for every cell index overlapped by r.
+func (g *GridIndex) eachCell(r Rect, fn func(cell int)) {
+	x0, y0 := g.cellCoords(r.Min)
+	x1, y1 := g.cellCoords(r.Max)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			fn(y*g.nx + x)
+		}
+	}
+}
+
+// Query appends to dst the IDs of all items whose bounding box intersects the
+// disc of the given radius around p, and returns the extended slice. IDs may
+// appear once even if the item spans several cells; callers get no duplicates.
+func (g *GridIndex) Query(dst []int, p Point, radius float64) []int {
+	q := Rect{Min: Point{p.X - radius, p.Y - radius}, Max: Point{p.X + radius, p.Y + radius}}
+	seen := map[int32]struct{}{}
+	g.eachCell(q, func(c int) {
+		for _, id := range g.cells[c] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			if g.boxes[id].Intersects(q) {
+				seen[id] = struct{}{}
+				dst = append(dst, int(id))
+			}
+		}
+	})
+	return dst
+}
+
+// Len returns the number of indexed items.
+func (g *GridIndex) Len() int { return len(g.boxes) }

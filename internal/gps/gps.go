@@ -1,0 +1,220 @@
+// Package gps reproduces the data-acquisition pipeline the paper's system
+// sits on: a floating-car (taxi) fleet emits noisy GPS points while driving
+// the network; the points are map-matched back onto road segments; and
+// per-segment speed observations are extracted for the historical database.
+//
+// The real Beijing/Tianjin taxi feeds are proprietary, so the fleet here
+// drives on the trafficsim ground truth (DESIGN.md §5): every taxi performs
+// trips over the directed road graph moving at the current true speed of the
+// road it is on, and reports a position fix with Gaussian error every
+// sampling interval. Everything downstream of the fix stream — matching,
+// speed extraction, history building — is the same code a real feed would
+// use.
+package gps
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/timeslot"
+)
+
+// Point is a single GPS fix from one vehicle.
+type Point struct {
+	Taxi int       // vehicle identifier
+	Time time.Time // fix timestamp
+	Pos  geo.Point // reported (noisy) position
+
+	// TrueRoad is the road the vehicle was actually on; carried through the
+	// simulator so tests can score the matcher. Real feeds leave it -1.
+	TrueRoad roadnet.RoadID
+}
+
+// Observation is one extracted (road, slot, speed) sample; the raw material
+// of the historical database.
+type Observation struct {
+	Road  roadnet.RoadID
+	Slot  int     // absolute slot index
+	Speed float64 // m/s
+}
+
+// FleetConfig parameterises the simulated taxi fleet.
+type FleetConfig struct {
+	NumTaxis       int           // fleet size
+	SampleInterval time.Duration // time between fixes (e.g. 30s)
+	NoiseMeters    float64       // GPS error standard deviation
+	Seed           int64
+	// TripBased makes taxis drive planned trips between random junctions
+	// (fastest route under free-flow speeds), re-planning on arrival, rather
+	// than performing a random walk. Trip-based traces look like real taxi
+	// journeys: long coherent paths concentrated on major roads.
+	TripBased bool
+}
+
+// DefaultFleetConfig returns a realistic urban probe fleet setup.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{NumTaxis: 200, SampleInterval: 30 * time.Second, NoiseMeters: 8, Seed: 1}
+}
+
+// Validate rejects unusable configurations.
+func (c *FleetConfig) Validate() error {
+	if c.NumTaxis <= 0 {
+		return fmt.Errorf("gps: NumTaxis must be positive, got %d", c.NumTaxis)
+	}
+	if c.SampleInterval <= 0 {
+		return fmt.Errorf("gps: SampleInterval must be positive, got %v", c.SampleInterval)
+	}
+	if c.NoiseMeters < 0 {
+		return fmt.Errorf("gps: NoiseMeters must be non-negative, got %v", c.NoiseMeters)
+	}
+	return nil
+}
+
+// taxi is the per-vehicle simulation state.
+type taxi struct {
+	road  roadnet.RoadID
+	along float64 // metres travelled along the current road
+
+	// Trip mode state: the remaining planned roads after the current one.
+	plan []roadnet.RoadID
+}
+
+// Fleet drives taxis over the network in lock-step with a ground-truth speed
+// source and produces the fix stream.
+type Fleet struct {
+	net    *roadnet.Network
+	cal    *timeslot.Calendar
+	cfg    FleetConfig
+	rng    *rand.Rand
+	taxis  []taxi
+	now    time.Time
+	router *roadnet.Router // trip mode only
+}
+
+// SpeedSource yields the current true speed (m/s) of a road; implemented by
+// *trafficsim.Simulator via a small adapter in the callers.
+type SpeedSource interface {
+	Speed(id roadnet.RoadID) float64
+}
+
+// NewFleet creates a fleet positioned uniformly at random over the network,
+// with the clock at the calendar epoch.
+func NewFleet(net *roadnet.Network, cal *timeslot.Calendar, cfg FleetConfig) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		net: net, cal: cal, cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		now: cal.Epoch(),
+	}
+	if cfg.TripBased {
+		f.router = roadnet.NewRouter(net)
+	}
+	f.taxis = make([]taxi, cfg.NumTaxis)
+	for i := range f.taxis {
+		id := roadnet.RoadID(f.rng.Intn(net.NumRoads()))
+		f.taxis[i] = taxi{
+			road:  id,
+			along: f.rng.Float64() * net.Road(id).Length(),
+		}
+	}
+	return f, nil
+}
+
+// Now returns the fleet's current simulation time.
+func (f *Fleet) Now() time.Time { return f.now }
+
+// Tick advances every taxi by one sampling interval using speeds from src and
+// appends the resulting fixes to dst, returning the extended slice.
+func (f *Fleet) Tick(dst []Point, src SpeedSource) []Point {
+	dt := f.cfg.SampleInterval.Seconds()
+	f.now = f.now.Add(f.cfg.SampleInterval)
+	for i := range f.taxis {
+		tx := &f.taxis[i]
+		remaining := src.Speed(tx.road) * dt
+		for remaining > 0 {
+			road := f.net.Road(tx.road)
+			left := road.Length() - tx.along
+			if remaining < left {
+				tx.along += remaining
+				remaining = 0
+				break
+			}
+			// Reached the end junction: continue the plan (trip mode) or
+			// hop to a random outgoing road, avoiding an immediate U-turn
+			// when any alternative exists.
+			remaining -= left
+			tx.road = f.nextRoad(tx, road)
+			tx.along = 0
+		}
+		pos := f.net.Road(tx.road).Geometry.At(tx.along)
+		noisy := geo.Pt(
+			pos.X+f.rng.NormFloat64()*f.cfg.NoiseMeters,
+			pos.Y+f.rng.NormFloat64()*f.cfg.NoiseMeters,
+		)
+		dst = append(dst, Point{Taxi: i, Time: f.now, Pos: noisy, TrueRoad: tx.road})
+	}
+	return dst
+}
+
+// nextRoad advances a taxi past the end of cur: in trip mode it follows (or
+// re-plans) the trip; otherwise it random-walks.
+func (f *Fleet) nextRoad(tx *taxi, cur *roadnet.Road) roadnet.RoadID {
+	if f.router == nil {
+		return f.pickNext(cur)
+	}
+	if len(tx.plan) == 0 {
+		f.planTrip(tx, cur.To)
+	}
+	if len(tx.plan) == 0 {
+		return f.pickNext(cur) // no reachable destination: fall back
+	}
+	next := tx.plan[0]
+	tx.plan = tx.plan[1:]
+	return next
+}
+
+// planTrip plans a new trip for the taxi from the given junction to a random
+// destination, storing the road sequence in tx.plan.
+func (f *Fleet) planTrip(tx *taxi, from roadnet.NodeID) {
+	speeds := roadnet.FreeFlowSpeeds(f.net)
+	for attempt := 0; attempt < 5; attempt++ {
+		dst := roadnet.NodeID(f.rng.Intn(f.net.NumNodes()))
+		if dst == from {
+			continue
+		}
+		route, err := f.router.Route(from, dst, speeds)
+		if err != nil || len(route.Roads) == 0 {
+			continue
+		}
+		tx.plan = route.Roads
+		return
+	}
+}
+
+// pickNext chooses the next road after finishing cur, preferring anything
+// over the exact reverse segment.
+func (f *Fleet) pickNext(cur *roadnet.Road) roadnet.RoadID {
+	out := f.net.Out(cur.To)
+	if len(out) == 0 {
+		// Dead end in the directed graph: turn around by finding the reverse
+		// segment among the roads entering our end node... there is none, so
+		// stay (should not happen on two-way generated networks).
+		return cur.ID
+	}
+	// Collect non-U-turn candidates (a U-turn goes back to cur.From).
+	var candidates []roadnet.RoadID
+	for _, id := range out {
+		if f.net.Road(id).To != cur.From {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = out
+	}
+	return candidates[f.rng.Intn(len(candidates))]
+}

@@ -1,0 +1,367 @@
+package gps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/timeslot"
+	"repro/internal/trafficsim"
+)
+
+func testNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	cfg := roadnet.DefaultGenerateConfig()
+	cfg.BlocksX, cfg.BlocksY = 6, 5
+	cfg.DropLocalProb = 0
+	cfg.Jitter = 0.05
+	n, err := roadnet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testCal(t *testing.T) *timeslot.Calendar {
+	t.Helper()
+	return timeslot.MustCalendar(time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC), 10*time.Minute)
+}
+
+// constantSpeeds is a SpeedSource with one speed for every road.
+type constantSpeeds float64
+
+func (c constantSpeeds) Speed(roadnet.RoadID) float64 { return float64(c) }
+
+func TestFleetConfigValidation(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	bad := []FleetConfig{
+		{NumTaxis: 0, SampleInterval: time.Second},
+		{NumTaxis: 1, SampleInterval: 0},
+		{NumTaxis: 1, SampleInterval: time.Second, NoiseMeters: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewFleet(net, cal, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFleetTickProducesFixes(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	cfg := FleetConfig{NumTaxis: 10, SampleInterval: 30 * time.Second, NoiseMeters: 5, Seed: 2}
+	f, err := NewFleet(net, cal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	for i := 0; i < 20; i++ {
+		pts = f.Tick(pts, constantSpeeds(10))
+	}
+	if len(pts) != 200 {
+		t.Fatalf("got %d fixes, want 200", len(pts))
+	}
+	// Time advances by the interval each tick.
+	if got := f.Now().Sub(cal.Epoch()); got != 20*30*time.Second {
+		t.Errorf("Now advanced by %v", got)
+	}
+	// Every fix's reported position is near its true road.
+	for _, p := range pts {
+		_, _, perp := net.Road(p.TrueRoad).Geometry.Project(p.Pos)
+		if perp > 6*cfg.NoiseMeters {
+			t.Errorf("fix %v is %.1f m from its true road", p.Pos, perp)
+		}
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	run := func() []Point {
+		f, _ := NewFleet(net, cal, FleetConfig{NumTaxis: 5, SampleInterval: 30 * time.Second, NoiseMeters: 5, Seed: 7})
+		var pts []Point
+		for i := 0; i < 10; i++ {
+			pts = f.Tick(pts, constantSpeeds(12))
+		}
+		return pts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Pos != b[i].Pos || a[i].TrueRoad != b[i].TrueRoad {
+			t.Fatalf("fix %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestTaxisKeepMoving(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	f, _ := NewFleet(net, cal, FleetConfig{NumTaxis: 20, SampleInterval: time.Minute, NoiseMeters: 0, Seed: 3})
+	var first, last []Point
+	first = f.Tick(nil, constantSpeeds(15))
+	for i := 0; i < 30; i++ {
+		last = f.Tick(nil, constantSpeeds(15))
+	}
+	moved := 0
+	for i := range first {
+		if first[i].Pos.Dist(last[i].Pos) > 100 {
+			moved++
+		}
+	}
+	if moved < len(first)/2 {
+		t.Errorf("only %d/%d taxis moved substantially", moved, len(first))
+	}
+}
+
+func TestMatcherValidation(t *testing.T) {
+	net := testNet(t)
+	if _, err := NewMatcher(net, MatcherConfig{MaxDistance: 0}); err == nil {
+		t.Error("zero MaxDistance accepted")
+	}
+	if _, err := NewMatcher(net, MatcherConfig{MaxDistance: 10, ContinuityBonus: -1}); err == nil {
+		t.Error("negative bonus accepted")
+	}
+}
+
+func TestMatcherAccuracy(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	f, _ := NewFleet(net, cal, FleetConfig{NumTaxis: 30, SampleInterval: 30 * time.Second, NoiseMeters: 8, Seed: 5})
+	var pts []Point
+	for i := 0; i < 60; i++ {
+		pts = f.Tick(pts, constantSpeeds(10))
+	}
+	matcher, err := NewMatcher(net, DefaultMatcherConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, matched := 0, 0
+	for _, trace := range SplitByTaxi(pts) {
+		for _, mp := range matcher.MatchTrace(trace) {
+			if !mp.OK {
+				continue
+			}
+			matched++
+			// Count the exact road or its opposite twin as correct: with a
+			// two-way pair the perpendicular distance cannot distinguish
+			// directions, and speed extraction treats them separately anyway.
+			if mp.Road == mp.TrueRoad || isReverse(net, mp.Road, mp.TrueRoad) {
+				correct++
+			}
+		}
+	}
+	if matched < len(pts)*9/10 {
+		t.Errorf("only %d/%d fixes matched", matched, len(pts))
+	}
+	acc := float64(correct) / float64(matched)
+	if acc < 0.80 {
+		t.Errorf("matcher accuracy %.2f below 0.80", acc)
+	}
+}
+
+func isReverse(net *roadnet.Network, a, b roadnet.RoadID) bool {
+	ra, rb := net.Road(a), net.Road(b)
+	return ra.From == rb.To && ra.To == rb.From
+}
+
+func TestMatchTraceMarksFarPointsNotOK(t *testing.T) {
+	net := testNet(t)
+	matcher, _ := NewMatcher(net, DefaultMatcherConfig())
+	far := Point{Pos: geo.Pt(1e6, 1e6)}
+	got := matcher.MatchTrace([]Point{far})
+	if got[0].OK {
+		t.Error("fix a megametre away matched a road")
+	}
+}
+
+func TestExtractSpeedsBasic(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	road := net.Road(0)
+	t0 := cal.Epoch().Add(time.Hour)
+	mk := func(offset time.Duration, along float64) MatchedPoint {
+		return MatchedPoint{
+			Point: Point{Taxi: 1, Time: t0.Add(offset)},
+			Road:  road.ID, Along: along, OK: true,
+		}
+	}
+	trace := []MatchedPoint{mk(0, 10), mk(30*time.Second, 160), mk(60*time.Second, 310)}
+	obs := ExtractSpeeds(cal, trace, DefaultExtractConfig())
+	if len(obs) != 2 {
+		t.Fatalf("got %d observations, want 2", len(obs))
+	}
+	for _, o := range obs {
+		if math.Abs(o.Speed-5) > 1e-9 {
+			t.Errorf("speed = %v, want 5", o.Speed)
+		}
+		if o.Road != road.ID {
+			t.Errorf("road = %v", o.Road)
+		}
+		if o.Slot != cal.Slot(t0) {
+			t.Errorf("slot = %d, want %d", o.Slot, cal.Slot(t0))
+		}
+	}
+}
+
+func TestExtractSpeedsFilters(t *testing.T) {
+	_, cal := testNet(t), testCal(t)
+	t0 := cal.Epoch()
+	base := MatchedPoint{Point: Point{Taxi: 1, Time: t0}, Road: 0, Along: 0, OK: true}
+	cfg := DefaultExtractConfig()
+
+	// Different roads: skipped.
+	b := base
+	b.Time = t0.Add(30 * time.Second)
+	b.Road = 1
+	if got := ExtractSpeeds(cal, []MatchedPoint{base, b}, cfg); len(got) != 0 {
+		t.Error("cross-road pair produced an observation")
+	}
+	// Excessive gap: skipped.
+	b = base
+	b.Time = t0.Add(10 * time.Minute)
+	b.Along = 100
+	if got := ExtractSpeeds(cal, []MatchedPoint{base, b}, cfg); len(got) != 0 {
+		t.Error("over-gap pair produced an observation")
+	}
+	// Implausible speed: skipped.
+	b = base
+	b.Time = t0.Add(time.Second)
+	b.Along = 1000
+	if got := ExtractSpeeds(cal, []MatchedPoint{base, b}, cfg); len(got) != 0 {
+		t.Error("1000 m/s sample accepted")
+	}
+	// Backwards motion: skipped.
+	a := base
+	a.Along = 50
+	b = base
+	b.Time = t0.Add(30 * time.Second)
+	b.Along = 10
+	if got := ExtractSpeeds(cal, []MatchedPoint{a, b}, cfg); len(got) != 0 {
+		t.Error("backwards pair produced an observation")
+	}
+	// Not-OK points: skipped.
+	b = base
+	b.Time = t0.Add(30 * time.Second)
+	b.Along = 100
+	b.OK = false
+	if got := ExtractSpeeds(cal, []MatchedPoint{base, b}, cfg); len(got) != 0 {
+		t.Error("unmatched point produced an observation")
+	}
+}
+
+func TestPipelineRecoversGroundTruthSpeeds(t *testing.T) {
+	// End-to-end: constant 10 m/s traffic; extracted observations should
+	// average near 10 m/s.
+	net, cal := testNet(t), testCal(t)
+	f, _ := NewFleet(net, cal, FleetConfig{NumTaxis: 50, SampleInterval: 20 * time.Second, NoiseMeters: 4, Seed: 9})
+	var pts []Point
+	for i := 0; i < 90; i++ {
+		pts = f.Tick(pts, constantSpeeds(10))
+	}
+	obs, err := Pipeline(net, cal, pts, DefaultMatcherConfig(), DefaultExtractConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 20 s sampling and ~250 m blocks most fix pairs straddle a junction,
+	// so the usable yield is a modest fraction of the 4500 raw fixes.
+	if len(obs) < 200 {
+		t.Fatalf("pipeline produced only %d observations", len(obs))
+	}
+	var sum float64
+	for _, o := range obs {
+		sum += o.Speed
+	}
+	mean := sum / float64(len(obs))
+	if math.Abs(mean-10) > 1.5 {
+		t.Errorf("mean extracted speed %.2f, want ≈10", mean)
+	}
+}
+
+func TestPipelineWithSimulatedTraffic(t *testing.T) {
+	// Full-stack smoke test against the traffic simulator.
+	net, cal := testNet(t), testCal(t)
+	sim, err := trafficsim.New(net, cal, trafficsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewFleet(net, cal, FleetConfig{NumTaxis: 40, SampleInterval: 30 * time.Second, NoiseMeters: 8, Seed: 4})
+	ticksPerSlot := int(cal.Width() / (30 * time.Second))
+	var pts []Point
+	for slot := 0; slot < 12; slot++ {
+		for k := 0; k < ticksPerSlot; k++ {
+			pts = f.Tick(pts, sim)
+		}
+		sim.Step()
+	}
+	obs, err := Pipeline(net, cal, pts, DefaultMatcherConfig(), DefaultExtractConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations from simulated traffic")
+	}
+	for _, o := range obs {
+		if o.Slot < 0 || o.Slot > 12 {
+			t.Errorf("observation slot %d outside simulated window", o.Slot)
+		}
+	}
+}
+
+func TestTripBasedFleetFollowsRoutes(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	cfg := FleetConfig{NumTaxis: 15, SampleInterval: 30 * time.Second, NoiseMeters: 0, Seed: 11, TripBased: true}
+	f, err := NewFleet(net, cal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	for i := 0; i < 80; i++ {
+		pts = f.Tick(pts, constantSpeeds(12))
+	}
+	if len(pts) != 15*80 {
+		t.Fatalf("got %d fixes", len(pts))
+	}
+	// Consecutive true roads of a taxi must be identical or adjacent — the
+	// trace follows connected routes.
+	for _, trace := range SplitByTaxi(pts) {
+		for i := 1; i < len(trace); i++ {
+			a, b := trace[i-1].TrueRoad, trace[i].TrueRoad
+			if a == b {
+				continue
+			}
+			found := false
+			for _, nb := range net.Adjacent(a) {
+				if nb == b {
+					found = true
+					break
+				}
+			}
+			// A fast taxi can cross more than one short segment between
+			// fixes, so allow 2-hop transitions too.
+			if !found {
+				hops := net.Hops([]roadnet.RoadID{a}, 3)
+				if hops[b] == -1 {
+					t.Fatalf("taxi jumped from road %d to %d", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTripBasedDeterminism(t *testing.T) {
+	net, cal := testNet(t), testCal(t)
+	run := func() []Point {
+		f, err := NewFleet(net, cal, FleetConfig{NumTaxis: 5, SampleInterval: time.Minute, NoiseMeters: 3, Seed: 21, TripBased: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pts []Point
+		for i := 0; i < 20; i++ {
+			pts = f.Tick(pts, constantSpeeds(10))
+		}
+		return pts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trip-based fleet not deterministic")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package gps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/roadnet"
+	"repro/internal/timeslot"
+)
+
+// MatchedPoint is a GPS fix snapped onto a road segment.
+type MatchedPoint struct {
+	Point
+	Road  roadnet.RoadID
+	Along float64 // metres from the road start to the snapped position
+	OK    bool    // false when no road was within range
+}
+
+// MatcherConfig parameterises map matching.
+type MatcherConfig struct {
+	// MaxDistance is the search radius around a fix in metres; fixes with no
+	// road inside it are marked not-OK.
+	MaxDistance float64
+	// ContinuityBonus is subtracted from the effective distance of
+	// candidates that equal or are adjacent to the previous matched road,
+	// implementing the lightweight sequential (HMM-like) constraint.
+	ContinuityBonus float64
+}
+
+// DefaultMatcherConfig matches typical 8–15 m urban GPS noise.
+func DefaultMatcherConfig() MatcherConfig {
+	return MatcherConfig{MaxDistance: 45, ContinuityBonus: 12}
+}
+
+// Matcher snaps fix streams onto a network. Safe for concurrent use.
+type Matcher struct {
+	net *roadnet.Network
+	cfg MatcherConfig
+}
+
+// NewMatcher returns a Matcher over the network.
+func NewMatcher(net *roadnet.Network, cfg MatcherConfig) (*Matcher, error) {
+	if cfg.MaxDistance <= 0 {
+		return nil, fmt.Errorf("gps: MaxDistance must be positive, got %v", cfg.MaxDistance)
+	}
+	if cfg.ContinuityBonus < 0 {
+		return nil, fmt.Errorf("gps: ContinuityBonus must be non-negative, got %v", cfg.ContinuityBonus)
+	}
+	return &Matcher{net: net, cfg: cfg}, nil
+}
+
+// MatchTrace snaps one vehicle's time-ordered fixes. Points must all belong
+// to the same vehicle; the sequential continuity constraint assumes so.
+func (m *Matcher) MatchTrace(points []Point) []MatchedPoint {
+	out := make([]MatchedPoint, len(points))
+	prev := roadnet.RoadID(-1)
+	for i, p := range points {
+		mp := MatchedPoint{Point: p, Road: -1}
+		best := math.Inf(1)
+		for _, cand := range m.net.RoadsNear(nil, p.Pos, m.cfg.MaxDistance) {
+			_, along, perp := m.net.Road(cand).Geometry.Project(p.Pos)
+			if perp > m.cfg.MaxDistance {
+				continue
+			}
+			score := perp
+			if prev >= 0 && (cand == prev || m.isAdjacent(prev, cand)) {
+				score -= m.cfg.ContinuityBonus
+			}
+			if score < best {
+				best = score
+				mp.Road = cand
+				mp.Along = along
+				mp.OK = true
+			}
+		}
+		if mp.OK {
+			prev = mp.Road
+		} else {
+			prev = -1
+		}
+		out[i] = mp
+	}
+	return out
+}
+
+// isAdjacent reports whether b is in a's road-level adjacency list, using the
+// fact that the list is sorted.
+func (m *Matcher) isAdjacent(a, b roadnet.RoadID) bool {
+	adj := m.net.Adjacent(a)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= b })
+	return i < len(adj) && adj[i] == b
+}
+
+// SplitByTaxi groups a mixed fix stream into per-vehicle time-ordered traces.
+func SplitByTaxi(points []Point) map[int][]Point {
+	traces := make(map[int][]Point)
+	for _, p := range points {
+		traces[p.Taxi] = append(traces[p.Taxi], p)
+	}
+	for id := range traces {
+		tr := traces[id]
+		sort.SliceStable(tr, func(i, j int) bool { return tr[i].Time.Before(tr[j].Time) })
+	}
+	return traces
+}
+
+// ExtractConfig parameterises speed extraction.
+type ExtractConfig struct {
+	// MaxGap is the largest time difference between consecutive fixes that
+	// still yields a speed sample.
+	MaxGap float64 // seconds
+	// MaxSpeed filters physically impossible samples (GPS glitches).
+	MaxSpeed float64 // m/s
+}
+
+// DefaultExtractConfig suits 30 s urban sampling.
+func DefaultExtractConfig() ExtractConfig {
+	return ExtractConfig{MaxGap: 120, MaxSpeed: 45}
+}
+
+// ExtractSpeeds converts one matched trace into per-(road, slot) speed
+// observations. Consecutive fixes on the same road yield along-road speeds;
+// fixes on different roads are skipped — the distance travelled is then split
+// across an unknown path, and urban estimation systems routinely discard such
+// ambiguous pairs.
+func ExtractSpeeds(cal *timeslot.Calendar, trace []MatchedPoint, cfg ExtractConfig) []Observation {
+	var obs []Observation
+	for i := 1; i < len(trace); i++ {
+		a, b := trace[i-1], trace[i]
+		if !a.OK || !b.OK || a.Road != b.Road {
+			continue
+		}
+		dt := b.Time.Sub(a.Time).Seconds()
+		if dt <= 0 || dt > cfg.MaxGap {
+			continue
+		}
+		dist := b.Along - a.Along
+		if dist < 0 {
+			// Matched backwards (noise near a junction); unusable.
+			continue
+		}
+		speed := dist / dt
+		if speed <= 0 || speed > cfg.MaxSpeed {
+			continue
+		}
+		// Attribute the sample to the slot containing the interval midpoint.
+		mid := a.Time.Add(b.Time.Sub(a.Time) / 2)
+		obs = append(obs, Observation{Road: a.Road, Slot: cal.Slot(mid), Speed: speed})
+	}
+	return obs
+}
+
+// Pipeline runs the full acquisition chain — matching then extraction — over
+// a mixed multi-vehicle fix stream and returns all observations.
+func Pipeline(net *roadnet.Network, cal *timeslot.Calendar, points []Point, mc MatcherConfig, ec ExtractConfig) ([]Observation, error) {
+	matcher, err := NewMatcher(net, mc)
+	if err != nil {
+		return nil, err
+	}
+	var all []Observation
+	traces := SplitByTaxi(points)
+	// Deterministic order over taxis.
+	ids := make([]int, 0, len(traces))
+	for id := range traces {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		matched := matcher.MatchTrace(traces[id])
+		all = append(all, ExtractSpeeds(cal, matched, ec)...)
+	}
+	return all, nil
+}

@@ -1,0 +1,147 @@
+package history
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/timeslot"
+)
+
+// Binary format (little-endian):
+//
+//	magic "THDB" | version u32 | epochUnix i64 | slotWidthNs i64 | numRoads u32 |
+//	profile cells (mean f32, std f32, n u32, nUp u32) × numRoads×numProfileClasses |
+//	overall f32 × numRoads |
+//	per road: seriesLen u32 then (slot i32, rel f32) × seriesLen
+const (
+	codecMagic   = "THDB"
+	codecVersion = 1
+)
+
+// WriteTo serialises the database; the returned count is bytes written.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(codecMagic))
+	hdr := []any{
+		uint32(codecVersion),
+		db.cal.Epoch().Unix(),
+		int64(db.cal.Width()),
+		uint32(db.numRoads),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return n, err
+		}
+	}
+	for _, c := range db.profile {
+		for _, v := range []any{c.mean, c.std, c.n, c.nUp} {
+			if err := write(v); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := write(db.overall); err != nil {
+		return n, err
+	}
+	for _, s := range db.series {
+		if err := write(uint32(len(s))); err != nil {
+			return n, err
+		}
+		if err := write(s); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDB deserialises a database written by WriteTo.
+func ReadDB(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("history: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("history: bad magic %q", magic)
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("history: unsupported version %d", version)
+	}
+	var epochUnix, widthNs int64
+	var numRoads uint32
+	if err := read(&epochUnix); err != nil {
+		return nil, err
+	}
+	if err := read(&widthNs); err != nil {
+		return nil, err
+	}
+	if err := read(&numRoads); err != nil {
+		return nil, err
+	}
+	if numRoads == 0 || numRoads > 1<<24 {
+		return nil, fmt.Errorf("history: implausible road count %d", numRoads)
+	}
+	cal, err := timeslot.NewCalendar(time.Unix(epochUnix, 0).UTC(), time.Duration(widthNs))
+	if err != nil {
+		return nil, fmt.Errorf("history: reconstructing calendar: %w", err)
+	}
+	db := &DB{
+		cal:      cal,
+		numRoads: int(numRoads),
+		profile:  make([]profileCell, int(numRoads)*cal.NumProfileClasses()),
+		overall:  make([]float32, numRoads),
+		series:   make([][]Sample, numRoads),
+	}
+	for i := range db.profile {
+		c := &db.profile[i]
+		if err := read(&c.mean); err != nil {
+			return nil, err
+		}
+		if err := read(&c.std); err != nil {
+			return nil, err
+		}
+		if err := read(&c.n); err != nil {
+			return nil, err
+		}
+		if err := read(&c.nUp); err != nil {
+			return nil, err
+		}
+	}
+	if err := read(db.overall); err != nil {
+		return nil, err
+	}
+	for i := range db.series {
+		var sl uint32
+		if err := read(&sl); err != nil {
+			return nil, err
+		}
+		if sl > 1<<26 {
+			return nil, fmt.Errorf("history: implausible series length %d", sl)
+		}
+		s := make([]Sample, sl)
+		if err := read(s); err != nil {
+			return nil, err
+		}
+		db.series[i] = s
+	}
+	return db, nil
+}

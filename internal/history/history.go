@@ -1,0 +1,308 @@
+// Package history implements the historical speed database: per-road
+// per-profile-class statistics (slot-of-day × weekday/weekend — the
+// "historical average speed" the paper
+// defines trends against) plus the per-road time series of relative speeds
+// used to estimate trend correlations and to train the hierarchical linear
+// model.
+//
+// The database is built from (road, slot, speed) observations — produced
+// either by the GPS pipeline or by direct probe sampling of the traffic
+// simulator — via a Builder, and is immutable once finalised.
+package history
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gps"
+	"repro/internal/roadnet"
+	"repro/internal/timeslot"
+)
+
+// Sample is one historical data point for a road: the mean observed speed in
+// an absolute slot, expressed relative to the road's historical mean for
+// the slot’s profile class. Rel ≥ 1 means the trend was "up" in that slot.
+type Sample struct {
+	Slot int32
+	Rel  float32
+}
+
+// Up reports whether the sample's trend is up (at or above the historical
+// mean).
+func (s Sample) Up() bool { return s.Rel >= 1 }
+
+// profileCell holds the per-(road, profile-class) statistics.
+type profileCell struct {
+	mean float32 // mean observed speed, m/s
+	std  float32 // observed standard deviation
+	n    uint32  // number of slot-level samples
+	nUp  uint32  // samples at or above the mean
+}
+
+// DB is the immutable historical database.
+type DB struct {
+	cal      *timeslot.Calendar
+	numRoads int
+	profile  []profileCell // numRoads × NumProfileClasses, road-major
+	overall  []float32     // per-road overall mean speed (fallback)
+	series   [][]Sample    // per-road samples sorted by slot
+}
+
+// Cal returns the calendar the database is keyed by.
+func (db *DB) Cal() *timeslot.Calendar { return db.cal }
+
+// NumRoads returns the number of roads the database covers.
+func (db *DB) NumRoads() int { return db.numRoads }
+
+// cell returns the profile cell for a road and absolute slot.
+func (db *DB) cell(road roadnet.RoadID, slot int) *profileCell {
+	return &db.profile[int(road)*db.cal.NumProfileClasses()+db.cal.ProfileClass(slot)]
+}
+
+// Mean returns the historical mean speed of the road for the slot's
+// profile class. When the class was never observed it falls back to the
+// road's overall mean; ok is false only when the road has no history at all.
+func (db *DB) Mean(road roadnet.RoadID, slot int) (mean float64, ok bool) {
+	c := db.cell(road, slot)
+	if c.n > 0 {
+		return float64(c.mean), true
+	}
+	if db.overall[road] > 0 {
+		return float64(db.overall[road]), true
+	}
+	return 0, false
+}
+
+// Std returns the historical standard deviation for the slot’s profile class, or the
+// road-overall deviation when the class is unobserved. ok mirrors Mean.
+func (db *DB) Std(road roadnet.RoadID, slot int) (std float64, ok bool) {
+	c := db.cell(road, slot)
+	if c.n > 1 {
+		return float64(c.std), true
+	}
+	if _, haveAny := db.Mean(road, slot); haveAny {
+		return 0, true
+	}
+	return 0, false
+}
+
+// PUp returns the historical probability that the road's trend is up in the
+// slot's class, with Laplace smoothing so it never reaches 0 or 1.
+func (db *DB) PUp(road roadnet.RoadID, slot int) float64 {
+	c := db.cell(road, slot)
+	return (float64(c.nUp) + 1) / (float64(c.n) + 2)
+}
+
+// Series returns the road's historical samples sorted by slot; callers must
+// not modify the slice.
+func (db *DB) Series(road roadnet.RoadID) []Sample { return db.series[road] }
+
+// ObservationCount returns the total number of slot-level samples stored.
+func (db *DB) ObservationCount() int {
+	var total int
+	for _, s := range db.series {
+		total += len(s)
+	}
+	return total
+}
+
+// Coverage returns the fraction of roads with at least minSamples samples.
+func (db *DB) Coverage(minSamples int) float64 {
+	covered := 0
+	for _, s := range db.series {
+		if len(s) >= minSamples {
+			covered++
+		}
+	}
+	return float64(covered) / float64(db.numRoads)
+}
+
+// CoObserved invokes fn for every slot in which both roads have a sample,
+// in increasing slot order. It is the primitive the correlation graph is
+// estimated from.
+func (db *DB) CoObserved(u, v roadnet.RoadID, fn func(slot int32, relU, relV float32)) {
+	a, b := db.series[u], db.series[v]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Slot < b[j].Slot:
+			i++
+		case a[i].Slot > b[j].Slot:
+			j++
+		default:
+			fn(a[i].Slot, a[i].Rel, b[j].Rel)
+			i++
+			j++
+		}
+	}
+}
+
+// Builder accumulates observations and produces a DB.
+type Builder struct {
+	cal      *timeslot.Calendar
+	numRoads int
+	// agg[road] maps absolute slot → (speed sum, count).
+	agg []map[int32]sumCount
+}
+
+type sumCount struct {
+	sum float64
+	n   uint32
+}
+
+// NewBuilder returns an empty Builder for numRoads roads.
+func NewBuilder(cal *timeslot.Calendar, numRoads int) (*Builder, error) {
+	if numRoads <= 0 {
+		return nil, fmt.Errorf("history: numRoads must be positive, got %d", numRoads)
+	}
+	b := &Builder{cal: cal, numRoads: numRoads, agg: make([]map[int32]sumCount, numRoads)}
+	return b, nil
+}
+
+// Add records one speed observation. Negative or non-finite speeds and
+// out-of-range road IDs are rejected.
+func (b *Builder) Add(road roadnet.RoadID, slot int, speed float64) error {
+	if int(road) < 0 || int(road) >= b.numRoads {
+		return fmt.Errorf("history: road %d out of range [0,%d)", road, b.numRoads)
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return fmt.Errorf("history: invalid speed %v for road %d", speed, road)
+	}
+	if b.agg[road] == nil {
+		b.agg[road] = make(map[int32]sumCount)
+	}
+	sc := b.agg[road][int32(slot)]
+	sc.sum += speed
+	sc.n++
+	b.agg[road][int32(slot)] = sc
+	return nil
+}
+
+// AddObservations records a batch of GPS-pipeline observations, stopping at
+// the first invalid one.
+func (b *Builder) AddObservations(obs []gps.Observation) error {
+	for _, o := range obs {
+		if err := b.Add(o.Road, o.Slot, o.Speed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize computes profiles and relative-speed series and returns the
+// immutable DB. The Builder must not be used afterwards.
+func (b *Builder) Finalize() *DB {
+	spw := b.cal.NumProfileClasses()
+	db := &DB{
+		cal:      b.cal,
+		numRoads: b.numRoads,
+		profile:  make([]profileCell, b.numRoads*spw),
+		overall:  make([]float32, b.numRoads),
+		series:   make([][]Sample, b.numRoads),
+	}
+
+	// Pass 1: slot-level means per road, then per-class mean/std and the
+	// road-overall mean.
+	type slotMean struct {
+		slot int32
+		v    float64
+	}
+	perRoad := make([][]slotMean, b.numRoads)
+	for road, cells := range b.agg {
+		if len(cells) == 0 {
+			continue
+		}
+		sm := make([]slotMean, 0, len(cells))
+		for slot, sc := range cells {
+			sm = append(sm, slotMean{slot: slot, v: sc.sum / float64(sc.n)})
+		}
+		sort.Slice(sm, func(i, j int) bool { return sm[i].slot < sm[j].slot })
+		perRoad[road] = sm
+
+		var overallSum float64
+		classSum := make(map[int]float64)
+		classSq := make(map[int]float64)
+		classN := make(map[int]uint32)
+		for _, s := range sm {
+			cls := b.cal.ProfileClass(int(s.slot))
+			classSum[cls] += s.v
+			classSq[cls] += s.v * s.v
+			classN[cls]++
+			overallSum += s.v
+		}
+		db.overall[road] = float32(overallSum / float64(len(sm)))
+		base := road * spw
+		for cls, n := range classN {
+			mean := classSum[cls] / float64(n)
+			variance := classSq[cls]/float64(n) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			cell := &db.profile[base+cls]
+			cell.mean = float32(mean)
+			cell.std = float32(math.Sqrt(variance))
+			cell.n = n
+		}
+	}
+
+	// Pass 2: relative series and up-counts against the finished profiles.
+	for road, sm := range perRoad {
+		if len(sm) == 0 {
+			continue
+		}
+		series := make([]Sample, 0, len(sm))
+		base := road * spw
+		for _, s := range sm {
+			cls := b.cal.ProfileClass(int(s.slot))
+			cell := &db.profile[base+cls]
+			mean := float64(cell.mean)
+			if cell.n == 0 || mean <= 0 {
+				mean = float64(db.overall[road])
+			}
+			if mean <= 0 {
+				continue
+			}
+			rel := float32(s.v / mean)
+			series = append(series, Sample{Slot: s.slot, Rel: rel})
+			if rel >= 1 {
+				cell.nUp++
+			}
+		}
+		db.series[road] = series
+	}
+	b.agg = nil
+	return db
+}
+
+// NewBuilderFrom reconstructs a Builder from an existing database so new
+// observations can be appended and the database re-finalised — the rolling
+// update a continuously running deployment performs at the end of each day.
+// The reconstruction recovers each stored slot-level sample as one
+// observation at its recorded mean speed, so profiles recomputed over the
+// union of old and new data match a from-scratch build over the combined
+// observations (slot-level means are preserved exactly; per-slot observation
+// counts inside a slot are not, and are not used by any consumer).
+func NewBuilderFrom(db *DB) (*Builder, error) {
+	b, err := NewBuilder(db.cal, db.numRoads)
+	if err != nil {
+		return nil, err
+	}
+	for road := 0; road < db.numRoads; road++ {
+		id := roadnet.RoadID(road)
+		for _, s := range db.series[road] {
+			mean, ok := db.Mean(id, int(s.Slot))
+			if !ok || mean <= 0 {
+				continue
+			}
+			speed := float64(s.Rel) * mean
+			if speed <= 0 {
+				continue
+			}
+			if err := b.Add(id, int(s.Slot), speed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoSamples is returned by RidgeFit when no training rows are supplied.
+var ErrNoSamples = errors.New("linalg: no training samples")
+
+// RidgeModel is a fitted linear model y ≈ Intercept + Σ Coef[j]·x[j].
+type RidgeModel struct {
+	Intercept float64
+	Coef      []float64
+	// RMSE is the root-mean-squared training residual; callers use it to
+	// weigh this model against fallbacks.
+	RMSE float64
+	// N is the number of training samples.
+	N int
+}
+
+// Predict evaluates the model at x, which must have len(Coef) features.
+func (m *RidgeModel) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.Coef) {
+		return 0, fmt.Errorf("%w: model has %d features, input has %d", ErrShape, len(m.Coef), len(x))
+	}
+	return m.Intercept + Dot(m.Coef, x), nil
+}
+
+// RidgeFit fits y ≈ w₀ + Σ wⱼ xⱼ with an L2 penalty lambda on the weights
+// (the intercept is not penalised, implemented by centring). X is the n×p
+// design matrix as row slices; y has n responses. lambda must be ≥ 0; a
+// small positive lambda also guarantees the normal equations are solvable
+// when features are collinear, which happens constantly with neighbouring
+// road speeds.
+func RidgeFit(x [][]float64, y []float64, lambda float64) (*RidgeModel, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrNoSamples
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("%w: %d rows but %d responses", ErrShape, n, len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge penalty %v", lambda)
+	}
+	p := len(x[0])
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrShape, i, len(row), p)
+		}
+	}
+	if p == 0 {
+		// Intercept-only model.
+		m := &RidgeModel{Intercept: Mean(y), Coef: nil, N: n}
+		var sse float64
+		for _, yv := range y {
+			d := yv - m.Intercept
+			sse += d * d
+		}
+		m.RMSE = rmseOf(sse, n)
+		return m, nil
+	}
+
+	// Centre features and response so the intercept absorbs the means and
+	// stays unpenalised.
+	xMean := make([]float64, p)
+	for _, row := range x {
+		for j, v := range row {
+			xMean[j] += v
+		}
+	}
+	for j := range xMean {
+		xMean[j] /= float64(n)
+	}
+	yMean := Mean(y)
+
+	// Normal equations on centred data: (XᵀX + λI)·w = Xᵀy.
+	xtx := NewMatrix(p, p)
+	xty := make([]float64, p)
+	cr := make([]float64, p)
+	for i, row := range x {
+		for j := range row {
+			cr[j] = row[j] - xMean[j]
+		}
+		cy := y[i] - yMean
+		for a := 0; a < p; a++ {
+			if cr[a] == 0 {
+				continue
+			}
+			xty[a] += cr[a] * cy
+			for b := a; b < p; b++ {
+				xtx.data[a*p+b] += cr[a] * cr[b]
+			}
+		}
+	}
+	for a := 0; a < p; a++ { // mirror the upper triangle
+		for b := a + 1; b < p; b++ {
+			xtx.data[b*p+a] = xtx.data[a*p+b]
+		}
+	}
+	// Always add a tiny jitter on top of lambda so exactly-collinear columns
+	// (duplicate neighbour speeds) do not break the factorisation.
+	xtx.AddDiagonal(lambda + 1e-9)
+
+	w, err := Solve(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: ridge solve failed: %w", err)
+	}
+	m := &RidgeModel{
+		Intercept: yMean - Dot(w, xMean),
+		Coef:      w,
+		N:         n,
+	}
+	var sse float64
+	for i, row := range x {
+		pred, _ := m.Predict(row)
+		d := y[i] - pred
+		sse += d * d
+	}
+	m.RMSE = rmseOf(sse, n)
+	return m, nil
+}
+
+func rmseOf(sse float64, n int) float64 {
+	if n == 0 || sse <= 0 {
+		return 0
+	}
+	return math.Sqrt(sse / float64(n))
+}

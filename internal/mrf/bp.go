@@ -1,0 +1,188 @@
+package mrf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// BPConfig parameterises loopy belief propagation.
+type BPConfig struct {
+	// MaxIterations bounds the message-passing rounds.
+	MaxIterations int
+	// Damping blends each new message with the previous one:
+	// m ← (1-d)·m_new + d·m_old. Values around 0.3 stabilise loopy graphs.
+	Damping float64
+	// Tolerance stops iteration once the largest message change in a round
+	// falls below it.
+	Tolerance float64
+}
+
+// DefaultBPConfig returns settings that converge on city-scale graphs.
+func DefaultBPConfig() BPConfig {
+	return BPConfig{MaxIterations: 50, Damping: 0.3, Tolerance: 1e-4}
+}
+
+// Validate rejects unusable configurations.
+func (c *BPConfig) Validate() error {
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("mrf: MaxIterations must be ≥ 1, got %d", c.MaxIterations)
+	}
+	if c.Damping < 0 || c.Damping >= 1 {
+		return fmt.Errorf("mrf: Damping must be in [0, 1), got %v", c.Damping)
+	}
+	if c.Tolerance <= 0 {
+		return fmt.Errorf("mrf: Tolerance must be positive, got %v", c.Tolerance)
+	}
+	return nil
+}
+
+// BP is the loopy sum-product engine: the default trend-inference engine of
+// the reproduction.
+type BP struct {
+	cfg BPConfig
+}
+
+// NewBP returns a BP engine.
+func NewBP(cfg BPConfig) (*BP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &BP{cfg: cfg}, nil
+}
+
+// Name implements Engine.
+func (*BP) Name() string { return "bp" }
+
+// Infer implements Engine. Messages are represented by their "up"
+// probability; with binary states the "down" component is implied.
+func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
+	ev, err := evidenceMap(m, evidence)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumRoads()
+	g := m.graph
+
+	// Directed-edge message storage: for node u, msg[u][k] is the message
+	// from u's k-th neighbour to u, as P(up). Initialise uniform.
+	msg := make([][]float64, n)
+	next := make([][]float64, n)
+	// revIdx[u][k] is the index of u within (neighbour k of u)'s list, so a
+	// new message can be written into the receiver's slot directly.
+	revIdx := make([][]int, n)
+	for u := 0; u < n; u++ {
+		nbs := g.Neighbors(roadnet.RoadID(u))
+		msg[u] = make([]float64, len(nbs))
+		next[u] = make([]float64, len(nbs))
+		revIdx[u] = make([]int, len(nbs))
+		for k := range nbs {
+			msg[u][k] = 0.5
+			revIdx[u][k] = -1
+			for j, back := range g.Neighbors(nbs[k].To) {
+				if back.To == roadnet.RoadID(u) {
+					revIdx[u][k] = j
+					break
+				}
+			}
+			if revIdx[u][k] == -1 {
+				return nil, fmt.Errorf("mrf: correlation graph is not symmetric at edge %d-%d", u, nbs[k].To)
+			}
+		}
+	}
+
+	// nodeBelief returns the unnormalised (up, down) potential of u given
+	// evidence, excluding incoming messages.
+	nodePot := func(u int) (up, down float64) {
+		switch ev[u] {
+		case 1:
+			return 1, 0
+		case 0:
+			return 0, 1
+		default:
+			return m.prior[u], 1 - m.prior[u]
+		}
+	}
+
+	for iter := 0; iter < b.cfg.MaxIterations; iter++ {
+		var maxDelta float64
+		for u := 0; u < n; u++ {
+			nbs := g.Neighbors(roadnet.RoadID(u))
+			if len(nbs) == 0 {
+				continue
+			}
+			phiUp, phiDown := nodePot(u)
+			// Product of all incoming messages, in log space for stability.
+			var logUp, logDown float64
+			for k := range nbs {
+				p := msg[u][k]
+				logUp += math.Log(clamp01(p))
+				logDown += math.Log(clamp01(1 - p))
+			}
+			for k, e := range nbs {
+				// Cavity: remove neighbour k's own message.
+				cUp := logUp - math.Log(clamp01(msg[u][k]))
+				cDown := logDown - math.Log(clamp01(1-msg[u][k]))
+				hUp := phiUp * math.Exp(cUp)
+				hDown := phiDown * math.Exp(cDown)
+				// Marginalise over x_u for each x_v.
+				a := m.agreement(e.Agreement)
+				mUp := hUp*edgePotential(a, true) + hDown*edgePotential(a, false)
+				mDown := hUp*edgePotential(a, false) + hDown*edgePotential(a, true)
+				z := mUp + mDown
+				if z <= 0 || math.IsNaN(z) {
+					mUp, mDown, z = 0.5, 0.5, 1
+				}
+				newMsg := mUp / z
+				slot := revIdx[u][k]
+				old := msg[e.To][slot]
+				damped := (1-b.cfg.Damping)*newMsg + b.cfg.Damping*old
+				next[e.To][slot] = damped
+				if d := math.Abs(damped - old); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		// Nodes with no neighbours have no slots; copy next → msg.
+		for u := range msg {
+			copy(msg[u], next[u])
+		}
+		if maxDelta < b.cfg.Tolerance {
+			break
+		}
+	}
+
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		phiUp, phiDown := nodePot(u)
+		logUp, logDown := math.Log(clamp01(phiUp)), math.Log(clamp01(phiDown))
+		if phiUp == 0 {
+			logUp = math.Inf(-1)
+		}
+		if phiDown == 0 {
+			logDown = math.Inf(-1)
+		}
+		for k := range msg[u] {
+			logUp += math.Log(clamp01(msg[u][k]))
+			logDown += math.Log(clamp01(1 - msg[u][k]))
+		}
+		mx := math.Max(logUp, logDown)
+		pu := math.Exp(logUp - mx)
+		pd := math.Exp(logDown - mx)
+		out[u] = pu / (pu + pd)
+	}
+	return &Result{PUp: out}, nil
+}
+
+// clamp01 keeps probabilities strictly inside (0, 1) for log safety.
+func clamp01(p float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

@@ -1,0 +1,354 @@
+package mrf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corr"
+	"repro/internal/roadnet"
+)
+
+// chainGraph returns 0-1-2-...-(n-1) with uniform agreement a.
+func chainGraph(t *testing.T, n int, a float64) *corr.Graph {
+	t.Helper()
+	var es []corr.EdgeSpec
+	for i := 0; i < n-1; i++ {
+		es = append(es, corr.EdgeSpec{U: roadnet.RoadID(i), V: roadnet.RoadID(i + 1), Agreement: a, N: 50})
+	}
+	g, err := corr.NewGraph(n, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// loopGraph returns a 4-cycle with uniform agreement a.
+func loopGraph(t *testing.T, a float64) *corr.Graph {
+	t.Helper()
+	es := []corr.EdgeSpec{
+		{U: 0, V: 1, Agreement: a, N: 50},
+		{U: 1, V: 2, Agreement: a, N: 50},
+		{U: 2, V: 3, Agreement: a, N: 50},
+		{U: 3, V: 0, Agreement: a, N: 50},
+	}
+	g, err := corr.NewGraph(4, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func uniformPriors(n int, p float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func mustModel(t *testing.T, g *corr.Graph, priors []float64) *Model {
+	t.Helper()
+	m, err := NewModel(g, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustBP(t *testing.T) *BP {
+	t.Helper()
+	bp, err := NewBP(DefaultBPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestNewModelValidation(t *testing.T) {
+	g := chainGraph(t, 3, 0.8)
+	if _, err := NewModel(g, []float64{0.5}); err == nil {
+		t.Error("prior length mismatch accepted")
+	}
+	if _, err := NewModel(g, []float64{0.5, math.NaN(), 0.5}); err == nil {
+		t.Error("NaN prior accepted")
+	}
+	// Extreme priors are clipped, not rejected.
+	m, err := NewModel(g, []float64{0, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Prior(0) <= 0 || m.Prior(1) >= 1 {
+		t.Error("priors not clipped into the open interval")
+	}
+}
+
+func TestEvidenceValidation(t *testing.T) {
+	g := chainGraph(t, 3, 0.8)
+	m := mustModel(t, g, uniformPriors(3, 0.5))
+	bp := mustBP(t)
+	if _, err := bp.Infer(m, []Evidence{{Road: 99, Up: true}}); err == nil {
+		t.Error("out-of-range evidence accepted")
+	}
+	if _, err := bp.Infer(m, []Evidence{{Road: 0, Up: true}, {Road: 0, Up: false}}); err == nil {
+		t.Error("conflicting evidence accepted")
+	}
+	// Duplicate consistent evidence is fine.
+	if _, err := bp.Infer(m, []Evidence{{Road: 0, Up: true}, {Road: 0, Up: true}}); err != nil {
+		t.Errorf("consistent duplicate evidence rejected: %v", err)
+	}
+}
+
+func TestBPConfigValidation(t *testing.T) {
+	bad := []BPConfig{
+		{MaxIterations: 0, Damping: 0.3, Tolerance: 1e-4},
+		{MaxIterations: 10, Damping: 1.0, Tolerance: 1e-4},
+		{MaxIterations: 10, Damping: -0.1, Tolerance: 1e-4},
+		{MaxIterations: 10, Damping: 0.3, Tolerance: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBP(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestEvidencePropagatesAlongChain(t *testing.T) {
+	// Clamp one end of a strongly-agreeing chain "up": every node's
+	// posterior must rise above its 0.5 prior, monotonically fading with
+	// distance.
+	n := 6
+	g := chainGraph(t, n, 0.9)
+	m := mustModel(t, g, uniformPriors(n, 0.5))
+	for _, eng := range []Engine{mustBP(t), Gibbs{Seed: 1, Samples: 2000, Burn: 200}} {
+		res, err := eng.Infer(m, []Evidence{{Road: 0, Up: true}})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.PUp[0] != 1 {
+			t.Errorf("%s: clamped node PUp = %v", eng.Name(), res.PUp[0])
+		}
+		for i := 1; i < n; i++ {
+			if res.PUp[i] <= 0.5 {
+				t.Errorf("%s: node %d PUp = %v, want > 0.5", eng.Name(), i, res.PUp[i])
+			}
+		}
+		// Influence decays with distance (allow sampling slack for Gibbs).
+		slack := 0.0
+		if eng.Name() == "gibbs" {
+			slack = 0.05
+		}
+		for i := 2; i < n; i++ {
+			if res.PUp[i] > res.PUp[i-1]+slack {
+				t.Errorf("%s: influence grew with distance: PUp[%d]=%v > PUp[%d]=%v",
+					eng.Name(), i, res.PUp[i], i-1, res.PUp[i-1])
+			}
+		}
+	}
+}
+
+func TestDownEvidencePullsDown(t *testing.T) {
+	g := chainGraph(t, 3, 0.85)
+	m := mustModel(t, g, uniformPriors(3, 0.5))
+	res, err := mustBP(t).Infer(m, []Evidence{{Road: 0, Up: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PUp[0] != 0 {
+		t.Errorf("clamped node = %v", res.PUp[0])
+	}
+	for i := 1; i < 3; i++ {
+		if res.PUp[i] >= 0.5 {
+			t.Errorf("node %d PUp = %v, want < 0.5", i, res.PUp[i])
+		}
+	}
+	if res.Up(1) {
+		t.Error("Up(1) should be false")
+	}
+}
+
+func TestBPMatchesExactOnTree(t *testing.T) {
+	// On a tree BP is exact; compare against enumeration.
+	n := 5
+	g := chainGraph(t, n, 0.8)
+	priors := []float64{0.3, 0.6, 0.5, 0.7, 0.4}
+	m := mustModel(t, g, priors)
+	evidence := []Evidence{{Road: 2, Up: true}}
+	exact, err := Exact{}.Infer(m, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpRes, err := mustBP(t).Infer(m, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if d := math.Abs(exact.PUp[i] - bpRes.PUp[i]); d > 1e-3 {
+			t.Errorf("node %d: exact %v vs BP %v", i, exact.PUp[i], bpRes.PUp[i])
+		}
+	}
+}
+
+func TestBPCloseToExactOnLoop(t *testing.T) {
+	// Loopy BP is approximate on cycles but should stay close on a small
+	// one.
+	g := loopGraph(t, 0.75)
+	priors := []float64{0.4, 0.5, 0.6, 0.5}
+	m := mustModel(t, g, priors)
+	evidence := []Evidence{{Road: 0, Up: true}}
+	exact, err := Exact{}.Infer(m, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpRes, err := mustBP(t).Infer(m, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if d := math.Abs(exact.PUp[i] - bpRes.PUp[i]); d > 0.05 {
+			t.Errorf("node %d: exact %v vs BP %v", i, exact.PUp[i], bpRes.PUp[i])
+		}
+	}
+}
+
+func TestGibbsApproximatesExact(t *testing.T) {
+	g := loopGraph(t, 0.8)
+	m := mustModel(t, g, []float64{0.5, 0.5, 0.5, 0.5})
+	evidence := []Evidence{{Road: 0, Up: true}}
+	exact, err := Exact{}.Infer(m, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := Gibbs{Seed: 7, Burn: 300, Samples: 4000}
+	res, err := gb.Infer(m, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if d := math.Abs(exact.PUp[i] - res.PUp[i]); d > 0.05 {
+			t.Errorf("node %d: exact %v vs gibbs %v", i, exact.PUp[i], res.PUp[i])
+		}
+	}
+}
+
+func TestGibbsDeterministicForSeed(t *testing.T) {
+	g := chainGraph(t, 4, 0.8)
+	m := mustModel(t, g, uniformPriors(4, 0.5))
+	ev := []Evidence{{Road: 0, Up: true}}
+	a, _ := Gibbs{Seed: 3}.Infer(m, ev)
+	b, _ := Gibbs{Seed: 3}.Infer(m, ev)
+	for i := range a.PUp {
+		if a.PUp[i] != b.PUp[i] {
+			t.Fatal("same seed produced different marginals")
+		}
+	}
+}
+
+func TestICMFollowsStrongEvidence(t *testing.T) {
+	// A pair: the free node must adopt its strongly-agreeing neighbour's
+	// clamped trend despite a mild opposing prior.
+	g := chainGraph(t, 2, 0.9)
+	m := mustModel(t, g, uniformPriors(2, 0.45))
+	res, err := ICM{}.Infer(m, []Evidence{{Road: 0, Up: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Up(1) {
+		t.Error("ICM did not follow up evidence")
+	}
+	res, err = ICM{}.Infer(m, []Evidence{{Road: 0, Up: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Up(1) {
+		t.Error("ICM did not follow down evidence")
+	}
+}
+
+func TestICMStopsAtLocalOptimum(t *testing.T) {
+	// On a longer chain with a down-leaning prior, single-site ICM cannot
+	// propagate the evidence past the first junction where two down
+	// neighbours outvote one up neighbour — documenting why BP is the
+	// default engine.
+	n := 5
+	g := chainGraph(t, n, 0.9)
+	m := mustModel(t, g, uniformPriors(n, 0.45))
+	res, err := ICM{}.Infer(m, []Evidence{{Road: 0, Up: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Up(4) {
+		t.Error("expected ICM to be stuck; if it now escapes, tighten this test")
+	}
+	bpRes, err := mustBP(t).Infer(m, []Evidence{{Road: 0, Up: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpRes.PUp[1] <= 0.5 {
+		t.Errorf("BP should propagate where ICM sticks: PUp[1]=%v", bpRes.PUp[1])
+	}
+}
+
+func TestExactRefusesLargeProblems(t *testing.T) {
+	g := chainGraph(t, 30, 0.8)
+	m := mustModel(t, g, uniformPriors(30, 0.5))
+	if _, err := (Exact{}).Infer(m, nil); err == nil {
+		t.Error("exact inference over 30 free nodes accepted")
+	}
+	// Clamping most nodes brings the free count under a raised cap.
+	var ev []Evidence
+	for i := 0; i < 20; i++ {
+		ev = append(ev, Evidence{Road: roadnet.RoadID(i), Up: true})
+	}
+	if _, err := (Exact{MaxFreeNodes: 12}).Infer(m, ev); err != nil {
+		t.Errorf("10 free nodes under a 12-node cap rejected: %v", err)
+	}
+}
+
+func TestPriorOnlyEngine(t *testing.T) {
+	g := chainGraph(t, 3, 0.9)
+	m := mustModel(t, g, []float64{0.2, 0.5, 0.8})
+	res, err := PriorOnly{}.Infer(m, []Evidence{{Road: 1, Up: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PUp[1] != 1 {
+		t.Error("evidence not applied")
+	}
+	if math.Abs(res.PUp[0]-0.2) > 1e-2 || math.Abs(res.PUp[2]-0.8) > 1e-2 {
+		t.Error("priors not passed through")
+	}
+}
+
+func TestIsolatedNodesKeepPrior(t *testing.T) {
+	// A graph with an isolated node: inference must not disturb it.
+	g, err := corr.NewGraph(3, []corr.EdgeSpec{{U: 0, V: 1, Agreement: 0.8, N: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, g, []float64{0.5, 0.5, 0.7})
+	res, err := mustBP(t).Infer(m, []Evidence{{Road: 0, Up: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PUp[2]-0.7) > 1e-9 {
+		t.Errorf("isolated node moved to %v", res.PUp[2])
+	}
+	if res.PUp[1] <= 0.5 {
+		t.Errorf("connected node ignored evidence: %v", res.PUp[1])
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	names := map[string]Engine{
+		"bp":    mustBP(t),
+		"icm":   ICM{},
+		"gibbs": Gibbs{},
+		"exact": Exact{},
+		"prior": PriorOnly{},
+	}
+	for want, eng := range names {
+		if got := eng.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package render draws terminal visualisations of network-wide traffic
+// state: an ASCII raster where each character cell aggregates the roads
+// whose midpoints fall in it and shows how congested they are relative to
+// their historical averages. Used by cmd/trafficest -map and handy in
+// debugging sessions.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/roadnet"
+)
+
+// ramp maps congestion severity (low → high) to glyphs: free-flowing roads
+// are quiet dots, jammed ones solid blocks.
+var ramp = []rune{'·', '░', '▒', '▓', '█'}
+
+// SpeedMap renders per-road relative speeds (speed / historical mean) as an
+// ASCII raster of the given character width. Roads with rel ≤ 0 (no data)
+// are ignored; empty cells print as spaces. Height follows from the
+// network's aspect ratio (terminal cells are roughly twice as tall as
+// wide).
+func SpeedMap(net *roadnet.Network, rel []float64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	bounds := net.Bounds()
+	if bounds.Empty() || bounds.Width() <= 0 {
+		return ""
+	}
+	height := int(float64(width) * bounds.Height() / bounds.Width() / 2)
+	if height < 4 {
+		height = 4
+	}
+
+	sum := make([][]float64, height)
+	cnt := make([][]int, height)
+	for y := range sum {
+		sum[y] = make([]float64, width)
+		cnt[y] = make([]int, width)
+	}
+	for r := 0; r < net.NumRoads(); r++ {
+		if r >= len(rel) || rel[r] <= 0 {
+			continue
+		}
+		road := net.Road(roadnet.RoadID(r))
+		mid := road.Geometry.At(road.Length() / 2)
+		x := cellIndex(mid.X, bounds.Min.X, bounds.Width(), width)
+		y := cellIndex(mid.Y, bounds.Min.Y, bounds.Height(), height)
+		// Rasters draw top-down; the network's Y grows north.
+		y = height - 1 - y
+		sum[y][x] += rel[r]
+		cnt[y][x]++
+	}
+
+	var b strings.Builder
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if cnt[y][x] == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			b.WriteRune(glyphFor(sum[y][x] / float64(cnt[y][x])))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cellIndex maps a coordinate to a raster cell, clamped.
+func cellIndex(v, min, extent float64, cells int) int {
+	i := int((v - min) / extent * float64(cells))
+	if i < 0 {
+		return 0
+	}
+	if i >= cells {
+		return cells - 1
+	}
+	return i
+}
+
+// glyphFor maps a mean relative speed to a severity glyph: rel ≥ 1 is
+// free-flowing, rel ≤ 0.5 is jammed solid.
+func glyphFor(rel float64) rune {
+	if math.IsNaN(rel) {
+		return ' '
+	}
+	// Severity 0 at rel ≥ 1.05, 1 at rel ≤ 0.5.
+	sev := (1.05 - rel) / 0.55
+	if sev < 0 {
+		sev = 0
+	}
+	if sev > 1 {
+		sev = 1
+	}
+	idx := int(sev * float64(len(ramp)-1))
+	return ramp[idx]
+}
+
+// Legend returns the glyph legend for SpeedMap output.
+func Legend() string {
+	return "legend: · free-flow  ░ mild  ▒ slow  ▓ congested  █ jammed (vs historical mean)"
+}
+
+// SideBySide joins two rasters of equal height with a gutter, labelling each
+// column; used to compare estimated and true congestion.
+func SideBySide(left, right, leftLabel, rightLabel string) string {
+	ll := strings.Split(strings.TrimRight(left, "\n"), "\n")
+	rl := strings.Split(strings.TrimRight(right, "\n"), "\n")
+	for len(ll) < len(rl) {
+		ll = append(ll, "")
+	}
+	for len(rl) < len(ll) {
+		rl = append(rl, "")
+	}
+	width := 0
+	for _, l := range ll {
+		if n := len([]rune(l)); n > width {
+			width = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s   %s\n", width, leftLabel, rightLabel)
+	for i := range ll {
+		pad := width - len([]rune(ll[i]))
+		b.WriteString(ll[i])
+		b.WriteString(strings.Repeat(" ", pad+3))
+		b.WriteString(rl[i])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func testNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	cfg := roadnet.DefaultGenerateConfig()
+	cfg.BlocksX, cfg.BlocksY = 6, 5
+	n, err := roadnet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func uniformRels(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSpeedMapDimensions(t *testing.T) {
+	net := testNet(t)
+	out := SpeedMap(net, uniformRels(net.NumRoads(), 1), 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	for i, l := range lines {
+		if got := len([]rune(l)); got != 40 {
+			t.Errorf("line %d has width %d, want 40", i, got)
+		}
+	}
+}
+
+func TestSpeedMapSeverityOrdering(t *testing.T) {
+	net := testNet(t)
+	free := SpeedMap(net, uniformRels(net.NumRoads(), 1.1), 30)
+	jam := SpeedMap(net, uniformRels(net.NumRoads(), 0.4), 30)
+	if strings.Count(free, "·") == 0 {
+		t.Error("free-flow map has no light glyphs")
+	}
+	if strings.Count(jam, "█") == 0 {
+		t.Error("jammed map has no solid glyphs")
+	}
+	if strings.Count(free, "█") > 0 {
+		t.Error("free-flow map shows jams")
+	}
+	if strings.Count(jam, "·") > 0 {
+		t.Error("jammed map shows free flow")
+	}
+}
+
+func TestSpeedMapIgnoresMissing(t *testing.T) {
+	net := testNet(t)
+	rel := uniformRels(net.NumRoads(), 0) // all missing
+	out := SpeedMap(net, rel, 30)
+	if strings.TrimFunc(out, func(r rune) bool { return r == ' ' || r == '\n' }) != "" {
+		t.Error("map with no data should be blank")
+	}
+}
+
+func TestSpeedMapClampsTinyWidth(t *testing.T) {
+	net := testNet(t)
+	out := SpeedMap(net, uniformRels(net.NumRoads(), 1), 1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len([]rune(lines[0])) != 8 {
+		t.Errorf("width clamped to %d, want 8", len([]rune(lines[0])))
+	}
+}
+
+func TestSpeedMapDeterministic(t *testing.T) {
+	net := testNet(t)
+	rel := uniformRels(net.NumRoads(), 0.8)
+	if SpeedMap(net, rel, 32) != SpeedMap(net, rel, 32) {
+		t.Error("SpeedMap not deterministic")
+	}
+}
+
+func TestGlyphMonotonicity(t *testing.T) {
+	// Lower rel must never yield a lighter glyph.
+	rank := map[rune]int{'·': 0, '░': 1, '▒': 2, '▓': 3, '█': 4}
+	prev := -1
+	for rel := 1.2; rel >= 0.3; rel -= 0.01 {
+		g := glyphFor(rel)
+		r, ok := rank[g]
+		if !ok {
+			t.Fatalf("unknown glyph %q", g)
+		}
+		if r < prev {
+			t.Fatalf("severity decreased at rel=%.2f", rel)
+		}
+		prev = r
+	}
+}
+
+func TestLegendMentionsAllGlyphs(t *testing.T) {
+	l := Legend()
+	for _, g := range ramp {
+		if !strings.ContainsRune(l, g) {
+			t.Errorf("legend missing %q", g)
+		}
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	left := "ab\ncd\n"
+	right := "xy\nzw\n"
+	out := SideBySide(left, right, "L", "R")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "L") || !strings.Contains(lines[0], "R") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "ab") || !strings.Contains(lines[1], "xy") {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Ragged inputs are padded.
+	out = SideBySide("a\n", "x\ny\n", "L", "R")
+	lines = strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("ragged join has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,86 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// networkJSON is the on-disk representation of a Network.
+type networkJSON struct {
+	Version int        `json:"version"`
+	Nodes   []nodeJSON `json:"nodes"`
+	Roads   []roadJSON `json:"roads"`
+}
+
+type nodeJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type roadJSON struct {
+	From     int32        `json:"from"`
+	To       int32        `json:"to"`
+	Class    uint8        `json:"class"`
+	Name     string       `json:"name,omitempty"`
+	Geometry [][2]float64 `json:"geom,omitempty"`
+}
+
+const codecVersion = 1
+
+// WriteJSON serialises the network to w.
+func WriteJSON(w io.Writer, n *Network) error {
+	out := networkJSON{Version: codecVersion}
+	out.Nodes = make([]nodeJSON, len(n.nodes))
+	for i, nd := range n.nodes {
+		out.Nodes[i] = nodeJSON{X: nd.Pos.X, Y: nd.Pos.Y}
+	}
+	out.Roads = make([]roadJSON, len(n.roads))
+	for i := range n.roads {
+		r := &n.roads[i]
+		rj := roadJSON{From: int32(r.From), To: int32(r.To), Class: uint8(r.Class), Name: r.Name}
+		// Straight-line geometry is implied by the endpoints; only store
+		// geometry when it has intermediate shape points.
+		if len(r.Geometry) > 2 {
+			rj.Geometry = make([][2]float64, len(r.Geometry))
+			for j, p := range r.Geometry {
+				rj.Geometry[j] = [2]float64{p.X, p.Y}
+			}
+		}
+		out.Roads[i] = rj
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// ReadJSON deserialises a network written by WriteJSON.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in networkJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("roadnet: decoding network: %w", err)
+	}
+	if in.Version != codecVersion {
+		return nil, fmt.Errorf("roadnet: unsupported network version %d (want %d)", in.Version, codecVersion)
+	}
+	b := NewBuilder()
+	for _, nd := range in.Nodes {
+		b.AddNode(geo.Pt(nd.X, nd.Y))
+	}
+	for _, rj := range in.Roads {
+		if rj.Class >= uint8(numClasses) {
+			return nil, fmt.Errorf("roadnet: road has invalid class %d", rj.Class)
+		}
+		var pl geo.Polyline
+		if len(rj.Geometry) > 0 {
+			pl = make(geo.Polyline, len(rj.Geometry))
+			for j, p := range rj.Geometry {
+				pl[j] = geo.Pt(p[0], p[1])
+			}
+		}
+		b.AddRoad(NodeID(rj.From), NodeID(rj.To), RoadClass(rj.Class), pl, rj.Name)
+	}
+	return b.Build()
+}

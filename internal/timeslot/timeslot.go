@@ -1,0 +1,194 @@
+// Package timeslot discretises wall-clock time into the slots used by the
+// historical database, the correlation graph and the estimator.
+//
+// The paper observes traffic in fixed-width time slots (speeds are averaged
+// per road per slot, and historical statistics are kept per slot-of-week).
+// A Calendar maps between absolute slot indices (monotonically increasing
+// from a fixed epoch, used to address observations) and slot-of-week classes
+// (used to address historical statistics, so that Tuesday 08:30 is compared
+// with other Tuesdays at 08:30 rather than with Sunday nights).
+package timeslot
+
+import (
+	"fmt"
+	"time"
+)
+
+// Calendar maps instants to slot indices. The zero value is not usable; use
+// NewCalendar.
+type Calendar struct {
+	epoch time.Time
+	width time.Duration
+}
+
+// DefaultSlotWidth is the slot width used throughout the reproduction,
+// matching the granularity typical of urban traffic estimation systems.
+const DefaultSlotWidth = 10 * time.Minute
+
+// NewCalendar returns a Calendar with the given slot width anchored at epoch.
+// The epoch is truncated so that slots align with midnight of the epoch's day
+// (simplifying slot-of-day arithmetic). width must divide 24h evenly.
+func NewCalendar(epoch time.Time, width time.Duration) (*Calendar, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("timeslot: width must be positive, got %v", width)
+	}
+	if (24*time.Hour)%width != 0 {
+		return nil, fmt.Errorf("timeslot: width %v must divide 24h evenly", width)
+	}
+	midnight := time.Date(epoch.Year(), epoch.Month(), epoch.Day(), 0, 0, 0, 0, epoch.Location())
+	return &Calendar{epoch: midnight, width: width}, nil
+}
+
+// MustCalendar is NewCalendar that panics on error; for tests and fixed
+// configurations.
+func MustCalendar(epoch time.Time, width time.Duration) *Calendar {
+	c, err := NewCalendar(epoch, width)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Width returns the slot width.
+func (c *Calendar) Width() time.Duration { return c.width }
+
+// Epoch returns the calendar's anchor (midnight of the epoch day).
+func (c *Calendar) Epoch() time.Time { return c.epoch }
+
+// SlotsPerDay returns the number of slots in 24 hours.
+func (c *Calendar) SlotsPerDay() int { return int((24 * time.Hour) / c.width) }
+
+// SlotsPerWeek returns the number of slot-of-week classes.
+func (c *Calendar) SlotsPerWeek() int { return 7 * c.SlotsPerDay() }
+
+// Slot returns the absolute slot index for instant t. Instants before the
+// epoch yield negative indices.
+func (c *Calendar) Slot(t time.Time) int {
+	d := t.Sub(c.epoch)
+	if d < 0 {
+		// Floor division for negative durations.
+		return -int((-d+c.width-1)/c.width) + 0
+	}
+	return int(d / c.width)
+}
+
+// Start returns the starting instant of absolute slot s.
+func (c *Calendar) Start(s int) time.Time {
+	return c.epoch.Add(time.Duration(s) * c.width)
+}
+
+// SlotOfDay returns the within-day class of absolute slot s, in
+// [0, SlotsPerDay).
+func (c *Calendar) SlotOfDay(s int) int {
+	n := c.SlotsPerDay()
+	m := s % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// SlotOfWeek returns the within-week class of absolute slot s, in
+// [0, SlotsPerWeek). Class 0 is the first slot of the epoch's weekday; the
+// class therefore keys "same weekday, same time of day" across weeks.
+func (c *Calendar) SlotOfWeek(s int) int {
+	n := c.SlotsPerWeek()
+	m := s % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// DayOfSlot returns the day index (0 = epoch day) containing absolute slot s.
+func (c *Calendar) DayOfSlot(s int) int {
+	n := c.SlotsPerDay()
+	if s < 0 {
+		return -((-s + n - 1) / n)
+	}
+	return s / n
+}
+
+// HourOfSlot returns the local hour-of-day (0..23) at the start of slot s.
+func (c *Calendar) HourOfSlot(s int) int {
+	perHour := int(time.Hour / c.width)
+	if perHour == 0 {
+		// Slots wider than an hour: derive from the start time instead.
+		return c.Start(s).Hour()
+	}
+	return c.SlotOfDay(s) / perHour
+}
+
+// ProfileClass returns the historical-profile class of absolute slot s.
+// Profiles are keyed by slot-of-day crossed with a weekday/weekend flag:
+// Tuesday 08:30 pools with every other weekday at 08:30. Pooling weekdays
+// (rather than keying by full slot-of-week) gives each class several samples
+// per fortnight of history, which slot-of-week keying cannot.
+func (c *Calendar) ProfileClass(s int) int {
+	day := c.SlotOfDay(s)
+	if c.isWeekend(s) {
+		return c.SlotsPerDay() + day
+	}
+	return day
+}
+
+// NumProfileClasses returns the number of distinct ProfileClass values.
+func (c *Calendar) NumProfileClasses() int { return 2 * c.SlotsPerDay() }
+
+// isWeekend reports whether slot s falls on a Saturday or Sunday.
+func (c *Calendar) isWeekend(s int) bool {
+	wd := c.Start(s).Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// PeakKind classifies a slot as morning peak, evening peak or off-peak.
+type PeakKind int
+
+// Peak classifications, per the conventional urban rush-hour windows.
+const (
+	OffPeak PeakKind = iota
+	MorningPeak
+	EveningPeak
+)
+
+// String implements fmt.Stringer.
+func (k PeakKind) String() string {
+	switch k {
+	case MorningPeak:
+		return "morning-peak"
+	case EveningPeak:
+		return "evening-peak"
+	default:
+		return "off-peak"
+	}
+}
+
+// Peak returns the peak classification of absolute slot s, using the
+// conventional 07:00–09:30 and 17:00–19:30 windows on weekdays.
+func (c *Calendar) Peak(s int) PeakKind {
+	start := c.Start(s)
+	wd := start.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return OffPeak
+	}
+	min := start.Hour()*60 + start.Minute()
+	switch {
+	case min >= 7*60 && min < 9*60+30:
+		return MorningPeak
+	case min >= 17*60 && min < 19*60+30:
+		return EveningPeak
+	default:
+		return OffPeak
+	}
+}
+
+// Range returns the absolute slot indices covering [from, to), suitable for
+// iterating a history window.
+func (c *Calendar) Range(from, to time.Time) (first, last int) {
+	first = c.Slot(from)
+	last = c.Slot(to.Add(-time.Nanosecond))
+	if to.Sub(from) <= 0 {
+		return first, first - 1 // empty range
+	}
+	return first, last
+}

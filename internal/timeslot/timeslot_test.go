@@ -1,0 +1,199 @@
+package timeslot
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2016, 3, 7, 5, 13, 0, 0, time.UTC) // a Monday, mid-morning
+
+func TestNewCalendarValidation(t *testing.T) {
+	if _, err := NewCalendar(epoch, 0); err == nil {
+		t.Error("width 0 should be rejected")
+	}
+	if _, err := NewCalendar(epoch, -time.Minute); err == nil {
+		t.Error("negative width should be rejected")
+	}
+	if _, err := NewCalendar(epoch, 7*time.Minute); err == nil {
+		t.Error("7m does not divide 24h and should be rejected")
+	}
+	if _, err := NewCalendar(epoch, 10*time.Minute); err != nil {
+		t.Errorf("10m should be accepted: %v", err)
+	}
+}
+
+func TestEpochTruncatedToMidnight(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	want := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	if !c.Epoch().Equal(want) {
+		t.Errorf("Epoch = %v, want %v", c.Epoch(), want)
+	}
+}
+
+func TestSlotAndStartRoundTrip(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	for s := -5; s < 2000; s += 37 {
+		start := c.Start(s)
+		if got := c.Slot(start); got != s {
+			t.Fatalf("Slot(Start(%d)) = %d", s, got)
+		}
+		// Anywhere inside the slot maps back to it.
+		if got := c.Slot(start.Add(9*time.Minute + 59*time.Second)); got != s {
+			t.Fatalf("Slot inside slot %d = %d", s, got)
+		}
+	}
+}
+
+func TestSlotsPerDayWeek(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	if c.SlotsPerDay() != 144 {
+		t.Errorf("SlotsPerDay = %d, want 144", c.SlotsPerDay())
+	}
+	if c.SlotsPerWeek() != 1008 {
+		t.Errorf("SlotsPerWeek = %d, want 1008", c.SlotsPerWeek())
+	}
+}
+
+func TestSlotOfDayAndWeek(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	// Slot 0 begins at midnight Monday.
+	if c.SlotOfDay(0) != 0 || c.SlotOfWeek(0) != 0 {
+		t.Error("slot 0 classes wrong")
+	}
+	// One week later, the same class recurs.
+	if c.SlotOfWeek(1008) != 0 {
+		t.Errorf("SlotOfWeek(1008) = %d", c.SlotOfWeek(1008))
+	}
+	if c.SlotOfDay(144+7) != 7 {
+		t.Errorf("SlotOfDay(151) = %d", c.SlotOfDay(151))
+	}
+	// Negative slots wrap correctly.
+	if c.SlotOfDay(-1) != 143 {
+		t.Errorf("SlotOfDay(-1) = %d", c.SlotOfDay(-1))
+	}
+	if c.SlotOfWeek(-1) != 1007 {
+		t.Errorf("SlotOfWeek(-1) = %d", c.SlotOfWeek(-1))
+	}
+}
+
+func TestDayOfSlot(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	cases := []struct{ slot, day int }{
+		{0, 0}, {143, 0}, {144, 1}, {287, 1}, {288, 2}, {-1, -1}, {-144, -1}, {-145, -2},
+	}
+	for _, tc := range cases {
+		if got := c.DayOfSlot(tc.slot); got != tc.day {
+			t.Errorf("DayOfSlot(%d) = %d, want %d", tc.slot, got, tc.day)
+		}
+	}
+}
+
+func TestHourOfSlot(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	if got := c.HourOfSlot(0); got != 0 {
+		t.Errorf("HourOfSlot(0) = %d", got)
+	}
+	if got := c.HourOfSlot(6 * 8); got != 8 { // 8am: 6 slots per hour
+		t.Errorf("HourOfSlot(48) = %d, want 8", got)
+	}
+	// Wide slots (2h) fall back to start-time hour.
+	c2 := MustCalendar(epoch, 2*time.Hour)
+	if got := c2.HourOfSlot(3); got != 6 {
+		t.Errorf("2h-calendar HourOfSlot(3) = %d, want 6", got)
+	}
+}
+
+func TestPeakClassification(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	at := func(day, hour, min int) int {
+		return c.Slot(time.Date(2016, 3, 7+day, hour, min, 0, 0, time.UTC))
+	}
+	if got := c.Peak(at(0, 8, 0)); got != MorningPeak {
+		t.Errorf("Mon 08:00 = %v", got)
+	}
+	if got := c.Peak(at(0, 9, 20)); got != MorningPeak {
+		t.Errorf("Mon 09:20 = %v", got)
+	}
+	if got := c.Peak(at(0, 9, 30)); got != OffPeak {
+		t.Errorf("Mon 09:30 = %v", got)
+	}
+	if got := c.Peak(at(0, 18, 0)); got != EveningPeak {
+		t.Errorf("Mon 18:00 = %v", got)
+	}
+	if got := c.Peak(at(0, 13, 0)); got != OffPeak {
+		t.Errorf("Mon 13:00 = %v", got)
+	}
+	// Saturday rush hours are off-peak.
+	if got := c.Peak(at(5, 8, 0)); got != OffPeak {
+		t.Errorf("Sat 08:00 = %v", got)
+	}
+}
+
+func TestPeakString(t *testing.T) {
+	if OffPeak.String() != "off-peak" || MorningPeak.String() != "morning-peak" || EveningPeak.String() != "evening-peak" {
+		t.Error("PeakKind.String wrong")
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	from := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	to := from.Add(time.Hour)
+	first, last := c.Range(from, to)
+	if first != 0 || last != 5 {
+		t.Errorf("Range = [%d, %d], want [0, 5]", first, last)
+	}
+	// An exact slot boundary excludes the next slot.
+	first, last = c.Range(from, from.Add(10*time.Minute))
+	if first != 0 || last != 0 {
+		t.Errorf("Range 10m = [%d, %d], want [0, 0]", first, last)
+	}
+	// Empty range.
+	first, last = c.Range(from, from)
+	if last >= first {
+		t.Errorf("empty Range = [%d, %d]", first, last)
+	}
+}
+
+func TestNegativeSlots(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	before := c.Epoch().Add(-5 * time.Minute)
+	if got := c.Slot(before); got != -1 {
+		t.Errorf("Slot 5m before epoch = %d, want -1", got)
+	}
+	before = c.Epoch().Add(-10 * time.Minute)
+	if got := c.Slot(before); got != -1 {
+		t.Errorf("Slot exactly 10m before epoch = %d, want -1", got)
+	}
+	before = c.Epoch().Add(-10*time.Minute - time.Nanosecond)
+	if got := c.Slot(before); got != -2 {
+		t.Errorf("Slot just over 10m before epoch = %d, want -2", got)
+	}
+}
+
+func TestProfileClass(t *testing.T) {
+	c := MustCalendar(epoch, 10*time.Minute)
+	if c.NumProfileClasses() != 288 {
+		t.Errorf("NumProfileClasses = %d, want 288", c.NumProfileClasses())
+	}
+	// Monday (epoch day) slot 0 is weekday class 0.
+	if got := c.ProfileClass(0); got != 0 {
+		t.Errorf("ProfileClass(0) = %d", got)
+	}
+	// Tuesday 00:00 pools with Monday 00:00.
+	if got := c.ProfileClass(144); got != 0 {
+		t.Errorf("ProfileClass(Tue 00:00) = %d", got)
+	}
+	// Saturday 00:00 (5 days after Monday epoch) is weekend class 144.
+	if got := c.ProfileClass(5 * 144); got != 144 {
+		t.Errorf("ProfileClass(Sat 00:00) = %d", got)
+	}
+	// Sunday 08:00 is weekend class 144 + 48.
+	if got := c.ProfileClass(6*144 + 48); got != 144+48 {
+		t.Errorf("ProfileClass(Sun 08:00) = %d", got)
+	}
+	// The next Monday is weekday again.
+	if got := c.ProfileClass(7 * 144); got != 0 {
+		t.Errorf("ProfileClass(next Mon) = %d", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package speedest is the public facade of the TrendSpeed reproduction:
+// crowdsourcing-based real-time urban traffic speed estimation, from trends
+// to speeds (Hu, Li, Bao, Cui, Feng — ICDE 2016).
+//
+// The package re-exports the high-level API from the internal packages so a
+// downstream user needs a single import:
+//
+//	est, err := speedest.New(net, db, speedest.DefaultOptions())
+//	seeds, err := est.SelectSeeds(k)           // budget-K seed selection
+//	reports := askYourCrowd(seeds)             // crowdsource seed speeds
+//	res, err := est.Estimate(slot, reports)    // network-wide speeds
+//
+// Use BuildDataset (or the GPS pipeline in internal/gps via cmd/datagen) to
+// create synthetic benchmark datasets; see examples/ for runnable
+// walkthroughs and DESIGN.md for the system architecture.
+package speedest
+
+import (
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/dataset"
+	"repro/internal/history"
+	"repro/internal/roadnet"
+	"repro/internal/timeslot"
+)
+
+// Estimator is the trained end-to-end system: correlation graph, trend
+// model, hierarchical linear model and seed selection.
+type Estimator = core.Estimator
+
+// Options configures estimator construction; start from DefaultOptions.
+type Options = core.Options
+
+// Estimate is one estimation round's result.
+type Estimate = core.Estimate
+
+// EstimateOptions carries per-round overrides (ablations).
+type EstimateOptions = core.EstimateOptions
+
+// Network is an immutable road network.
+type Network = roadnet.Network
+
+// RoadID identifies a road segment within a Network.
+type RoadID = roadnet.RoadID
+
+// HistoryDB is the historical speed database.
+type HistoryDB = history.DB
+
+// Calendar discretises time into slots.
+type Calendar = timeslot.Calendar
+
+// Dataset bundles a synthetic city, its ground-truth traffic and a sampled
+// history; the test and benchmark fixture.
+type Dataset = dataset.Dataset
+
+// DatasetConfig parameterises BuildDataset.
+type DatasetConfig = dataset.Config
+
+// New builds an Estimator from a network and its historical database. This
+// is the expensive offline phase; Estimate calls are cheap enough for
+// real-time use.
+func New(net *Network, db *HistoryDB, opts Options) (*Estimator, error) {
+	return core.New(net, db, opts)
+}
+
+// DefaultOptions returns the configuration used by the paper-reproduction
+// experiments.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// BuildDataset assembles a synthetic benchmark dataset (city + traffic +
+// history).
+func BuildDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Build(cfg) }
+
+// DefaultDatasetConfig returns a small, fast dataset configuration.
+func DefaultDatasetConfig() DatasetConfig { return dataset.DefaultConfig() }
+
+// BCityDataset returns the large benchmark dataset configuration (the
+// Beijing stand-in).
+func BCityDataset() DatasetConfig { return dataset.BCity() }
+
+// TCityDataset returns the medium benchmark dataset configuration (the
+// Tianjin stand-in).
+func TCityDataset() DatasetConfig { return dataset.TCity() }
+
+// CrowdPlatform simulates the crowdsourcing service that answers seed-speed
+// queries (see internal/crowd for the worker model).
+type CrowdPlatform = crowd.Platform
+
+// CrowdConfig parameterises the simulated crowd.
+type CrowdConfig = crowd.Config
+
+// CrowdReport is one aggregated crowd answer.
+type CrowdReport = crowd.Report
+
+// NewCrowd creates a simulated crowdsourcing platform.
+func NewCrowd(cfg CrowdConfig) (*CrowdPlatform, error) { return crowd.New(cfg) }
+
+// DefaultCrowdConfig returns a realistic, mildly adversarial crowd.
+func DefaultCrowdConfig() CrowdConfig { return crowd.DefaultConfig() }
