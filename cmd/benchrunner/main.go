@@ -8,9 +8,15 @@
 //	benchrunner -exp F6,F9          # selected experiments
 //	benchrunner -fast               # reduced scale for smoke runs
 //	benchrunner -out EXPERIMENTS.md # also write the markdown report
+//	benchrunner -json BENCH.json    # timings + internal/obs registry snapshot
+//
+// The -json report embeds the full metrics registry (BP convergence
+// counters, stage latencies, lazy-greedy reevaluation counts), so archived
+// BENCH files carry the telemetry behind each number, not just the number.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 // experiment is one reproducible table/figure.
@@ -36,6 +43,7 @@ func main() {
 		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2) or all")
 		fast    = flag.Bool("fast", false, "reduced dataset scale for smoke runs")
 		out     = flag.String("out", "", "write a markdown report to this path")
+		jsonOut = flag.String("json", "", "write a JSON report (experiment timings + metrics registry snapshot) to this path")
 	)
 	flag.Parse()
 
@@ -68,6 +76,14 @@ func main() {
 	report.WriteString("# EXPERIMENTS — paper vs measured\n\n")
 	report.WriteString(preamble(*fast))
 
+	// runRecord feeds the -json report: one entry per executed experiment.
+	type runRecord struct {
+		ID             string  `json:"id"`
+		Title          string  `json:"title"`
+		ElapsedSeconds float64 `json:"elapsed_seconds"`
+	}
+	var runs []runRecord
+
 	for _, ex := range experiments {
 		if len(want) > 0 && !want[ex.id] {
 			continue
@@ -76,6 +92,7 @@ func main() {
 		t0 := time.Now()
 		tables := ex.run(ctx)
 		elapsed := time.Since(t0).Round(time.Millisecond)
+		runs = append(runs, runRecord{ID: ex.id, Title: ex.title, ElapsedSeconds: elapsed.Seconds()})
 		fmt.Printf("\n== %s: %s (%v) ==\n", ex.id, ex.title, elapsed)
 		fmt.Fprintf(&report, "## %s — %s\n\n", ex.id, ex.title)
 		if claim, ok := claims[ex.id]; ok {
@@ -99,6 +116,28 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *out)
+	}
+
+	if *jsonOut != "" {
+		doc := struct {
+			GeneratedAt string                        `json:"generated_at"`
+			Fast        bool                          `json:"fast"`
+			Experiments []runRecord                   `json:"experiments"`
+			Metrics     map[string]obs.FamilySnapshot `json:"metrics"`
+		}{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Fast:        *fast,
+			Experiments: runs,
+			Metrics:     obs.Default().Snapshot(),
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
 	}
 }
 

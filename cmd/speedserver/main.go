@@ -8,20 +8,32 @@
 //	curl localhost:8080/v1/info
 //	curl 'localhost:8080/v1/seeds?k=50'
 //	curl -X POST localhost:8080/v1/estimate -d '{"slot":0,"reports":[{"road":12,"speed_mps":8.5}]}'
+//	curl localhost:8080/metrics
+//
+// Observability: -metrics (default true) exposes GET /metrics on the main
+// address; -debug-addr starts a second listener with /metrics, pprof,
+// expvar and the span-trace dump, kept off the public address. On SIGINT or
+// SIGTERM the server drains in-flight requests (up to -shutdown-timeout)
+// and flushes a final metrics snapshot to the log.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -30,9 +42,12 @@ func main() {
 	log.SetPrefix("speedserver: ")
 
 	var (
-		city = flag.String("city", "default", "dataset preset when -data is unset: b, t or default")
-		data = flag.String("data", "", "directory with network.json + history.thdb from datagen")
-		addr = flag.String("addr", ":8080", "listen address")
+		city        = flag.String("city", "default", "dataset preset when -data is unset: b, t or default")
+		data        = flag.String("data", "", "directory with network.json + history.thdb from datagen")
+		addr        = flag.String("addr", ":8080", "listen address")
+		metrics     = flag.Bool("metrics", true, "expose GET /metrics on the main address")
+		debugAddr   = flag.String("debug-addr", "", "optional second listen address for /metrics, /debug/pprof, /debug/vars and /debug/trace")
+		shutdownTTL = flag.Duration("shutdown-timeout", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -72,7 +87,7 @@ func main() {
 	}
 	log.Printf("trained in %v", time.Since(t0).Round(time.Millisecond))
 
-	srv, err := api.NewServer(est)
+	srv, err := api.NewServerWith(est, api.Config{Metrics: *metrics})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,8 +97,51 @@ func main() {
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:    *debugAddr,
+			Handler: api.DebugMux(),
+			// No WriteTimeout: pprof profile/trace endpoints stream for their
+			// ?seconds= duration.
+			ReadTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug endpoints on %s", *debugAddr)
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
+
+	// Serve until the listener fails or a shutdown signal arrives, then
+	// drain: in-flight estimate rounds get -shutdown-timeout to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining for up to %v...", *shutdownTTL)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTTL)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if debugSrv != nil {
+			if err := debugSrv.Shutdown(drainCtx); err != nil {
+				log.Printf("debug shutdown: %v", err)
+			}
+		}
+	}
+	log.Printf("final metrics:\n%s", obs.Default().Render())
 }
 
 func load(dir string) (*roadnet.Network, *history.DB, error) {

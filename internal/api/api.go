@@ -8,6 +8,15 @@
 //	GET  /v1/roads/{id}     road metadata + historical profile for a slot
 //	POST /v1/estimate       run one estimation round from crowd reports
 //	POST /v1/map            estimation round rendered as an ASCII congestion map
+//	GET  /metrics           Prometheus text exposition of internal/obs (Config.Metrics)
+//
+// With Config.Debug (or via DebugMux for a separate listener) the server
+// also mounts /debug/pprof/*, /debug/vars (expvar) and /debug/trace (the
+// obs span ring as JSON).
+//
+// Every route passes through an instrumentation middleware that reports a
+// per-route request counter (split by status class), a latency histogram
+// and an in-flight gauge into the obs default registry.
 //
 // The handler is safe for concurrent use; estimation rounds share the
 // immutable estimator.
@@ -15,40 +24,183 @@ package api
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/roadnet"
 )
+
+// seedCacheMax bounds the per-k seed cache: each entry can hold thousands
+// of road IDs and retrains the seed model to produce, so an unbounded map
+// is a memory leak under adversarial ?k= scans. Eviction is FIFO — seed
+// sets are deterministic, so recomputing an evicted entry is only a cost,
+// never a correctness issue.
+const seedCacheMax = 32
+
+// Config toggles the operational endpoints of a Server.
+type Config struct {
+	// Metrics mounts GET /metrics (Prometheus text exposition of the obs
+	// default registry).
+	Metrics bool
+	// Debug mounts /debug/pprof/*, /debug/vars and /debug/trace on the main
+	// handler. Prefer a separate listener (DebugMux) on shared networks.
+	Debug bool
+}
 
 // Server wires a trained estimator into an http.Handler.
 type Server struct {
 	est *core.Estimator
 	mux *http.ServeMux
 
-	mu        sync.Mutex
-	seedCache map[int][]roadnet.RoadID
+	mu             sync.Mutex
+	seedCache      map[int][]roadnet.RoadID
+	seedCacheOrder []int // insertion order for FIFO eviction
 }
 
-// NewServer returns a Server for a trained estimator.
+// NewServer returns a Server for a trained estimator with metrics exposed
+// and debug endpoints off; use NewServerWith to choose.
 func NewServer(est *core.Estimator) (*Server, error) {
+	return NewServerWith(est, Config{Metrics: true})
+}
+
+// NewServerWith returns a Server for a trained estimator.
+func NewServerWith(est *core.Estimator, cfg Config) (*Server, error) {
 	if est == nil {
 		return nil, fmt.Errorf("api: estimator is required")
 	}
 	s := &Server{est: est, mux: http.NewServeMux(), seedCache: map[int][]roadnet.RoadID{}}
-	s.mux.HandleFunc("GET /health", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
-	s.mux.HandleFunc("GET /v1/seeds", s.handleSeeds)
-	s.mux.HandleFunc("GET /v1/roads/{id}", s.handleRoad)
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	s.handle("GET", "/health", s.handleHealth)
+	s.handle("GET", "/v1/info", s.handleInfo)
+	s.handle("GET", "/v1/seeds", s.handleSeeds)
+	s.handle("GET", "/v1/roads/{id}", s.handleRoad)
+	s.handle("POST", "/v1/estimate", s.handleEstimate)
+	s.handle("POST", "/v1/map", s.handleMap)
+	if cfg.Metrics {
+		s.handle("GET", "/metrics", handleMetrics)
+	}
+	if cfg.Debug {
+		mountDebug(s.mux)
+	}
 	return s, nil
+}
+
+// handle registers an instrumented route. The pattern (not the concrete
+// URL) is the route label, keeping metric cardinality bounded.
+func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" "+pattern, instrument(pattern, h))
+}
+
+// HTTP observability families (see internal/obs for the naming scheme).
+var (
+	httpInFlight = obs.Default().Gauge("trendspeed_http_in_flight",
+		"HTTP requests currently being served.")
+	httpRequests = func(route, class string) *obs.Counter {
+		return obs.Default().Counter("trendspeed_http_requests_total",
+			"HTTP requests served, by route pattern and status class.",
+			"route", route, "class", class)
+	}
+	httpLatency = func(route string) *obs.Histogram {
+		return obs.Default().Histogram("trendspeed_http_request_duration_seconds",
+			"HTTP request latency by route pattern.",
+			obs.DefBuckets, "route", route)
+	}
+)
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass buckets a status code into "2xx".."5xx".
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// instrument wraps a handler with the request counter, latency histogram
+// and in-flight gauge.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		httpInFlight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		httpInFlight.Dec()
+		httpLatency(route).Observe(time.Since(start).Seconds())
+		httpRequests(route, statusClass(sw.status)).Inc()
+	}
+}
+
+// handleMetrics renders the obs default registry in Prometheus text
+// exposition format v0.0.4.
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = obs.Default().WriteTo(w)
+}
+
+// handleTrace dumps the obs default tracer's span ring as JSON.
+func handleTrace(w http.ResponseWriter, _ *http.Request) {
+	raw, err := obs.DefaultTracer().SpansJSON()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "rendering trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// mountDebug registers the profiling and introspection endpoints on a mux.
+func mountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/trace", handleTrace)
+}
+
+// DebugMux returns a standalone handler with the metrics, pprof, expvar and
+// trace endpoints, for serving on a private -debug-addr listener.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mountDebug(mux)
+	return mux
 }
 
 // ServeHTTP implements http.Handler.
@@ -122,20 +274,44 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 }
 
 // seedsFor caches seed sets per budget: selection retrains the
-// seed-conditional model, which is too expensive per request.
+// seed-conditional model, which is too expensive per request. The cache is
+// capped at seedCacheMax entries with FIFO eviction so a ?k= scan cannot
+// grow memory without bound.
 func (s *Server) seedsFor(k int) ([]roadnet.RoadID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if seeds, ok := s.seedCache[k]; ok {
+		seedCacheHits.Inc()
 		return seeds, nil
 	}
+	seedCacheMisses.Inc()
 	seeds, err := s.est.SelectSeeds(k)
 	if err != nil {
 		return nil, err
 	}
+	if len(s.seedCacheOrder) >= seedCacheMax {
+		oldest := s.seedCacheOrder[0]
+		s.seedCacheOrder = s.seedCacheOrder[1:]
+		delete(s.seedCache, oldest)
+		seedCacheEvictions.Inc()
+	}
 	s.seedCache[k] = seeds
+	s.seedCacheOrder = append(s.seedCacheOrder, k)
+	seedCacheSize.Set(float64(len(s.seedCache)))
 	return seeds, nil
 }
+
+// Seed-cache observability.
+var (
+	seedCacheHits = obs.Default().Counter("trendspeed_api_seed_cache_hits_total",
+		"Seed-set cache hits on /v1/seeds.")
+	seedCacheMisses = obs.Default().Counter("trendspeed_api_seed_cache_misses_total",
+		"Seed-set cache misses on /v1/seeds (each one runs seed selection).")
+	seedCacheEvictions = obs.Default().Counter("trendspeed_api_seed_cache_evictions_total",
+		"Seed-set cache FIFO evictions.")
+	seedCacheSize = obs.Default().Gauge("trendspeed_api_seed_cache_entries",
+		"Seed-set cache entries currently held.")
+)
 
 // roadResponse describes one road.
 type roadResponse struct {
@@ -243,6 +419,12 @@ func (s *Server) runEstimate(w http.ResponseWriter, r *http.Request) (estimateRe
 	}
 	seedSpeeds := make(map[roadnet.RoadID]float64, len(req.Reports))
 	for _, rep := range req.Reports {
+		// Duplicates would silently last-wins collapse in the map, letting a
+		// malformed crowd batch masquerade as a smaller seed set.
+		if _, dup := seedSpeeds[rep.Road]; dup {
+			writeErr(w, http.StatusBadRequest, "duplicate report for road %d", rep.Road)
+			return estimateResult{}, false
+		}
 		seedSpeeds[rep.Road] = rep.Speed
 	}
 	res, err := s.est.Estimate(req.Slot, seedSpeeds)

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -22,9 +23,46 @@ import (
 	"repro/internal/history"
 	"repro/internal/hlm"
 	"repro/internal/mrf"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/seedsel"
 )
+
+// Core observability: the offline build stages and the online round latency
+// split by phase (pre-pass magnitude, trend inference, speed regression),
+// the decomposition behind the paper's real-time claim. Stage wall times
+// are also traced as spans (obs.StartSpan), so /debug/trace shows the exact
+// sequence of a slow round.
+var (
+	stageSeconds = func(stage string) *obs.Histogram {
+		return obs.Default().Histogram("trendspeed_core_stage_duration_seconds",
+			"Offline build stage wall time: corr_build, hlm_train, seedsel_prepare, seed_specialize.",
+			obs.DefBuckets, "stage", stage)
+	}
+	estimateSeconds = func(phase string) *obs.Histogram {
+		return obs.Default().Histogram("trendspeed_core_estimate_duration_seconds",
+			"Estimation round wall time split by phase: pre_pass, trend, speed, total.",
+			obs.DefBuckets, "phase", phase)
+	}
+	estimateRounds = obs.Default().Counter("trendspeed_core_estimate_rounds_total",
+		"Completed estimation rounds.")
+)
+
+// timeStage runs fn as a traced, metered build stage.
+func timeStage(ctx context.Context, stage string, fn func() error) error {
+	_, sp := obs.StartSpan(ctx, stage)
+	err := fn()
+	stageSeconds(stage).Observe(sp.End().Seconds())
+	return err
+}
+
+// timePhase runs fn as a traced, metered estimation-round phase.
+func timePhase(ctx context.Context, phase string, fn func() error) error {
+	_, sp := obs.StartSpan(ctx, phase)
+	err := fn()
+	estimateSeconds(phase).Observe(sp.End().Seconds())
+	return err
+}
 
 // Options configures estimator construction. The zero value is NOT valid;
 // start from DefaultOptions.
@@ -101,8 +139,13 @@ func New(net *roadnet.Network, db *history.DB, opts Options) (*Estimator, error)
 	if net.NumRoads() != db.NumRoads() {
 		return nil, fmt.Errorf("core: network has %d roads, history covers %d", net.NumRoads(), db.NumRoads())
 	}
-	graph, err := corr.Build(net, db, opts.Corr)
-	if err != nil {
+	ctx, buildSpan := obs.StartSpan(context.Background(), "core.new")
+	defer buildSpan.End()
+	var graph *corr.Graph
+	if err := timeStage(ctx, "corr_build", func() (err error) {
+		graph, err = corr.Build(net, db, opts.Corr)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: building correlation graph: %w", err)
 	}
 	// The HLM's pooled levels: road class (same-class roads co-move
@@ -112,12 +155,18 @@ func New(net *roadnet.Network, db *history.DB, opts Options) (*Estimator, error)
 	if hlmCfg.Levels == nil {
 		hlmCfg.Levels = poolingLevels(net)
 	}
-	model, err := hlm.Train(graph, db, hlmCfg)
-	if err != nil {
+	var model *hlm.Model
+	if err := timeStage(ctx, "hlm_train", func() (err error) {
+		model, err = hlm.Train(graph, db, hlmCfg)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: training HLM: %w", err)
 	}
-	problem, err := seedsel.NewProblem(graph, seedsel.BenefitWeights(net, db), opts.SeedSel)
-	if err != nil {
+	var problem *seedsel.Problem
+	if err := timeStage(ctx, "seedsel_prepare", func() (err error) {
+		problem, err = seedsel.NewProblem(graph, seedsel.BenefitWeights(net, db), opts.SeedSel)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: preparing seed selection: %w", err)
 	}
 	engine := opts.Engine
@@ -256,8 +305,11 @@ func (e *Estimator) Prepare(seeds []roadnet.RoadID) error {
 			return fmt.Errorf("core: seed road %d out of range [0,%d)", s, e.net.NumRoads())
 		}
 	}
-	sm, err := e.model.Specialize(e.db, seeds, e.seedCandidates(seeds), e.special)
-	if err != nil {
+	var sm *hlm.SeedModel
+	if err := timeStage(context.Background(), "seed_specialize", func() (err error) {
+		sm, err = e.model.Specialize(e.db, seeds, e.seedCandidates(seeds), e.special)
+		return err
+	}); err != nil {
 		return fmt.Errorf("core: specialising to seed set: %w", err)
 	}
 	e.seedModel = sm
@@ -365,6 +417,18 @@ func (e *Estimator) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*
 
 // EstimateWith is Estimate with per-call overrides.
 func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
+	ctx, roundSpan := obs.StartSpan(context.Background(), "core.estimate")
+	out, err := e.estimateWith(ctx, slot, seedSpeeds, opts)
+	estimateSeconds("total").Observe(roundSpan.End().Seconds())
+	if err == nil {
+		estimateRounds.Inc()
+	}
+	return out, err
+}
+
+// estimateWith is the uninstrumented round body; ctx carries the round span
+// so the per-phase spans nest under it.
+func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
 	n := e.net.NumRoads()
 	seedRels := make(map[roadnet.RoadID]float64, len(seedSpeeds))
 	for road, speed := range seedSpeeds {
@@ -382,11 +446,14 @@ func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64
 	}
 
 	if opts.TrendFree {
-		rels, err := e.estimateRels(&hlm.Request{
-			Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, n),
-			TrendFree: true, Flat: opts.FlatHLM,
-		}, opts.NoSeedModel)
-		if err != nil {
+		var rels []float64
+		if err := timePhase(ctx, "speed", func() (err error) {
+			rels, err = e.estimateRels(&hlm.Request{
+				Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, n),
+				TrendFree: true, Flat: opts.FlatHLM,
+			}, opts.NoSeedModel)
+			return err
+		}); err != nil {
 			return nil, fmt.Errorf("core: trend-free inference: %w", err)
 		}
 		pUp := make([]float64, n)
@@ -406,10 +473,13 @@ func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64
 	// estimated at 0.8× its mean is almost surely trending down), so they
 	// become the node priors of the graphical model.
 	preTrend := make([]bool, n) // ignored in trend-free mode
-	preRels, err := e.estimateRels(&hlm.Request{
-		Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
-	}, opts.NoSeedModel)
-	if err != nil {
+	var preRels []float64
+	if err := timePhase(ctx, "pre_pass", func() (err error) {
+		preRels, err = e.estimateRels(&hlm.Request{
+			Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
+		}, opts.NoSeedModel)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: magnitude pre-pass: %w", err)
 	}
 
@@ -427,19 +497,22 @@ func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64
 	for road, rel := range seedRels {
 		priors[road] = trendEvidence(rel, e.seedTrendNoise)
 	}
-	model, err := mrf.NewModel(e.graph, priors)
-	if err != nil {
-		return nil, fmt.Errorf("core: building trend model: %w", err)
-	}
-	if err := model.SetEdgeTemper(e.trendTemper); err != nil {
-		return nil, fmt.Errorf("core: tempering trend model: %w", err)
-	}
-	engine := opts.Engine
-	if engine == nil {
-		engine = e.engine
-	}
-	trends, err := engine.Infer(model, nil)
-	if err != nil {
+	var trends *mrf.Result
+	if err := timePhase(ctx, "trend", func() error {
+		model, err := mrf.NewModel(e.graph, priors)
+		if err != nil {
+			return fmt.Errorf("building trend model: %w", err)
+		}
+		if err := model.SetEdgeTemper(e.trendTemper); err != nil {
+			return fmt.Errorf("tempering trend model: %w", err)
+		}
+		engine := opts.Engine
+		if engine == nil {
+			engine = e.engine
+		}
+		trends, err = engine.Infer(model, nil)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: trend inference: %w", err)
 	}
 	// Fuse the graphical posterior with the magnitude evidence in log-odds
@@ -458,14 +531,17 @@ func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64
 	}
 
 	// Step 2: trend-conditioned hierarchical regression.
-	rels, err := e.estimateRels(&hlm.Request{
-		Slot:     slot,
-		SeedRels: seedRels,
-		TrendUp:  trendUp,
-		PUp:      pUp,
-		Flat:     opts.FlatHLM,
-	}, opts.NoSeedModel)
-	if err != nil {
+	var rels []float64
+	if err := timePhase(ctx, "speed", func() (err error) {
+		rels, err = e.estimateRels(&hlm.Request{
+			Slot:     slot,
+			SeedRels: seedRels,
+			TrendUp:  trendUp,
+			PUp:      pUp,
+			Flat:     opts.FlatHLM,
+		}, opts.NoSeedModel)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: speed inference: %w", err)
 	}
 	return &Estimate{

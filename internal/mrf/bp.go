@@ -4,7 +4,24 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
+)
+
+// BP observability: iterations-to-convergence, the final message residual
+// and the count of runs that hit MaxIterations without meeting Tolerance.
+// The paper's efficiency claim rests on BP converging in a few rounds, so
+// these are first-class signals for every perf PR (see internal/obs).
+var (
+	bpIterations = obs.Default().Histogram("trendspeed_bp_iterations",
+		"Loopy-BP message-passing rounds until convergence (or MaxIterations).",
+		obs.LinearBuckets(5, 5, 12))
+	bpFinalResidual = obs.Default().Gauge("trendspeed_bp_final_residual",
+		"Largest message change in the last BP round of the most recent run.")
+	bpNonConverged = obs.Default().Counter("trendspeed_bp_nonconverged_total",
+		"BP runs that exhausted MaxIterations above Tolerance.")
+	bpRuns = obs.Default().Counter("trendspeed_bp_runs_total",
+		"Total BP inference runs.")
 )
 
 // BPConfig parameterises loopy belief propagation.
@@ -105,6 +122,8 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 		}
 	}
 
+	iters := 0
+	lastDelta := math.Inf(1)
 	for iter := 0; iter < b.cfg.MaxIterations; iter++ {
 		var maxDelta float64
 		for u := 0; u < n; u++ {
@@ -148,9 +167,17 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 		for u := range msg {
 			copy(msg[u], next[u])
 		}
+		iters = iter + 1
+		lastDelta = maxDelta
 		if maxDelta < b.cfg.Tolerance {
 			break
 		}
+	}
+	bpRuns.Inc()
+	bpIterations.Observe(float64(iters))
+	bpFinalResidual.Set(lastDelta)
+	if lastDelta >= b.cfg.Tolerance {
+		bpNonConverged.Inc()
 	}
 
 	out := make([]float64, n)

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span: a named stage with wall-clock timing.
+type SpanRecord struct {
+	Name            string    `json:"name"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+}
+
+// Tracer records the last-N finished spans in a ring buffer and mirrors
+// every span duration into a histogram family on its registry
+// (trendspeed_trace_span_duration_seconds{span="…"}), so stage timings show
+// up both in /metrics and in the JSON dump at /debug/trace.
+type Tracer struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer keeping the last capacity spans and reporting
+// durations into reg.
+func NewTracer(reg *Registry, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{reg: reg, ring: make([]SpanRecord, 0, capacity)}
+}
+
+var defaultTracer = NewTracer(defaultRegistry, 256)
+
+// DefaultTracer returns the process-wide tracer used by StartSpan.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// record stores one finished span and observes its duration metric.
+func (t *Tracer) record(rec SpanRecord) {
+	t.reg.Histogram("trendspeed_trace_span_duration_seconds",
+		"Wall-clock duration of traced pipeline stages.",
+		DefBuckets, "span", rec.Name).Observe(rec.DurationSeconds)
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// SpansJSON renders the retained spans (oldest first) plus the total span
+// count as a JSON document for the /debug/trace endpoint.
+func (t *Tracer) SpansJSON() ([]byte, error) {
+	spans := t.Spans()
+	t.mu.Lock()
+	total := t.total
+	t.mu.Unlock()
+	return json.MarshalIndent(struct {
+		TotalSpans uint64       `json:"total_spans"`
+		Spans      []SpanRecord `json:"spans"`
+	}{TotalSpans: total, Spans: spans}, "", "  ")
+}
+
+// Span is an in-flight timed stage; call End exactly once.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+	ended  bool
+}
+
+// spanKey carries the enclosing span through a context for name nesting.
+type spanKey struct{}
+
+// StartSpan begins a named stage on the default tracer. If ctx already
+// carries a span, the new span's name is prefixed with its parent's
+// ("core.new/corr_build"), so nested stages stay attributable. The returned
+// context carries the new span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return defaultTracer.StartSpan(ctx, name)
+}
+
+// StartSpan begins a named stage on this tracer; see the package-level
+// StartSpan.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		name = parent.name + "/" + name
+	}
+	s := &Span{tracer: t, name: name, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Name returns the (possibly parent-prefixed) span name.
+func (s *Span) Name() string { return s.name }
+
+// End finishes the span, records it and returns its duration. Calling End
+// more than once records nothing and returns the elapsed time since start.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	s.tracer.record(SpanRecord{Name: s.name, Start: s.start, DurationSeconds: d.Seconds()})
+	return d
+}
