@@ -119,6 +119,23 @@ func BenchmarkTableT1DatasetBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimate is the hot-path headline: one full estimation round on
+// the prepared fixture (trend inference + hierarchical regression + seed
+// fusion), with allocs/op as the tracked regression number. Table/figure
+// benchmarks below add the quality metrics; this one stays a pure cost probe.
+func BenchmarkEstimate(b *testing.B) {
+	f := getFixture(b)
+	s := f.snaps[0]
+	reports := f.reports(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.est.Estimate(s.slot, reports); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTableT2OverallComparison regenerates Table 2's core row: one full
 // TrendSpeed estimation round, reporting MAE.
 func BenchmarkTableT2OverallComparison(b *testing.B) {

@@ -11,8 +11,12 @@
 //	benchrunner -json BENCH.json    # timings + internal/obs registry snapshot
 //
 // The -json report embeds the full metrics registry (BP convergence
-// counters, stage latencies, lazy-greedy reevaluation counts), so archived
-// BENCH files carry the telemetry behind each number, not just the number.
+// counters, stage latencies, lazy-greedy reevaluation counts, plus the
+// parallelism telemetry: trendspeed_par_runs_total/trendspeed_par_workers
+// from the worker pool and trendspeed_bp_buffer_reuse_total from the BP
+// message-buffer pool), so archived BENCH files carry the telemetry behind
+// each number — including how much of a run was actually parallel — not
+// just the number.
 package main
 
 import (

@@ -16,14 +16,22 @@
 //
 // Every route passes through an instrumentation middleware that reports a
 // per-route request counter (split by status class), a latency histogram
-// and an in-flight gauge into the obs default registry.
+// and an in-flight gauge into the obs default registry; a panicking handler
+// is recovered into a 500 so the gauge and counters stay truthful.
 //
-// The handler is safe for concurrent use; estimation rounds share the
-// immutable estimator.
+// The handler is safe for concurrent use. Estimation rounds share the
+// estimator's immutable trained state; the one mutable piece — the
+// seed-conditional model retrained by /v1/seeds — is snapshot-published
+// inside core.Estimator, so /v1/estimate rounds racing a /v1/seeds call
+// simply finish on the snapshot they loaded at entry. Seed selection itself
+// is deduplicated per budget k (single flight): concurrent requests for the
+// same k share one selection run, while different budgets run in parallel
+// instead of serialising behind one lock.
 package api
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -62,9 +70,20 @@ type Server struct {
 	est *core.Estimator
 	mux *http.ServeMux
 
+	// mu guards only the cache bookkeeping below; it is never held across
+	// seed selection, so one slow /v1/seeds cannot serialize the API.
 	mu             sync.Mutex
 	seedCache      map[int][]roadnet.RoadID
 	seedCacheOrder []int // insertion order for FIFO eviction
+	seedInflight   map[int]*seedCall
+}
+
+// seedCall is one in-flight seed selection; duplicate requests for the same
+// k wait on done instead of re-running the selection.
+type seedCall struct {
+	done  chan struct{}
+	seeds []roadnet.RoadID
+	err   error
 }
 
 // NewServer returns a Server for a trained estimator with metrics exposed
@@ -78,7 +97,12 @@ func NewServerWith(est *core.Estimator, cfg Config) (*Server, error) {
 	if est == nil {
 		return nil, fmt.Errorf("api: estimator is required")
 	}
-	s := &Server{est: est, mux: http.NewServeMux(), seedCache: map[int][]roadnet.RoadID{}}
+	s := &Server{
+		est:          est,
+		mux:          http.NewServeMux(),
+		seedCache:    map[int][]roadnet.RoadID{},
+		seedInflight: map[int]*seedCall{},
+	}
 	s.handle("GET", "/health", s.handleHealth)
 	s.handle("GET", "/v1/info", s.handleInfo)
 	s.handle("GET", "/v1/seeds", s.handleSeeds)
@@ -113,6 +137,11 @@ var (
 		return obs.Default().Histogram("trendspeed_http_request_duration_seconds",
 			"HTTP request latency by route pattern.",
 			obs.DefBuckets, "route", route)
+	}
+	httpPanics = func(route string) *obs.Counter {
+		return obs.Default().Counter("trendspeed_http_panics_total",
+			"Handler panics recovered by the instrumentation middleware, by route pattern.",
+			"route", route)
 	}
 )
 
@@ -149,19 +178,36 @@ func statusClass(code int) string {
 }
 
 // instrument wraps a handler with the request counter, latency histogram
-// and in-flight gauge.
+// and in-flight gauge. All updates run in a deferred block so a panicking
+// handler cannot leak the in-flight gauge or drop the request from the
+// counters; the panic itself is recovered into a 500 (counted under the 5xx
+// class) rather than re-raised, keeping one bad request from killing the
+// connection's error accounting.
 func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		httpInFlight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				httpPanics(route).Inc()
+				if sw.status == 0 {
+					// Headers not sent yet: answer a clean 500.
+					writeErr(sw, http.StatusInternalServerError, "internal error")
+				} else {
+					// Response already under way; the client sees a truncated
+					// body, but the metrics must still record a server error.
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			httpInFlight.Dec()
+			httpLatency(route).Observe(time.Since(start).Seconds())
+			httpRequests(route, statusClass(sw.status)).Inc()
+		}()
 		h(sw, r)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		httpInFlight.Dec()
-		httpLatency(route).Observe(time.Since(start).Seconds())
-		httpRequests(route, statusClass(sw.status)).Inc()
 	}
 }
 
@@ -277,28 +323,48 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 // seed-conditional model, which is too expensive per request. The cache is
 // capped at seedCacheMax entries with FIFO eviction so a ?k= scan cannot
 // grow memory without bound.
+//
+// Selection runs outside the lock in single-flight-per-k style: concurrent
+// requests for the same k share one selection run, and requests for
+// different budgets proceed in parallel (the seed-selection Problem is
+// read-only during Select, and the estimator publishes the retrained seed
+// model atomically).
 func (s *Server) seedsFor(k int) ([]roadnet.RoadID, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if seeds, ok := s.seedCache[k]; ok {
+		s.mu.Unlock()
 		seedCacheHits.Inc()
 		return seeds, nil
 	}
+	if c, ok := s.seedInflight[k]; ok {
+		s.mu.Unlock()
+		seedSingleflightWaits.Inc()
+		<-c.done
+		return c.seeds, c.err
+	}
+	c := &seedCall{done: make(chan struct{})}
+	s.seedInflight[k] = c
+	s.mu.Unlock()
+
 	seedCacheMisses.Inc()
-	seeds, err := s.est.SelectSeeds(k)
-	if err != nil {
-		return nil, err
+	c.seeds, c.err = s.est.SelectSeeds(k)
+	close(c.done)
+
+	s.mu.Lock()
+	delete(s.seedInflight, k)
+	if c.err == nil {
+		if len(s.seedCacheOrder) >= seedCacheMax {
+			oldest := s.seedCacheOrder[0]
+			s.seedCacheOrder = s.seedCacheOrder[1:]
+			delete(s.seedCache, oldest)
+			seedCacheEvictions.Inc()
+		}
+		s.seedCache[k] = c.seeds
+		s.seedCacheOrder = append(s.seedCacheOrder, k)
+		seedCacheSize.Set(float64(len(s.seedCache)))
 	}
-	if len(s.seedCacheOrder) >= seedCacheMax {
-		oldest := s.seedCacheOrder[0]
-		s.seedCacheOrder = s.seedCacheOrder[1:]
-		delete(s.seedCache, oldest)
-		seedCacheEvictions.Inc()
-	}
-	s.seedCache[k] = seeds
-	s.seedCacheOrder = append(s.seedCacheOrder, k)
-	seedCacheSize.Set(float64(len(s.seedCache)))
-	return seeds, nil
+	s.mu.Unlock()
+	return c.seeds, c.err
 }
 
 // Seed-cache observability.
@@ -311,6 +377,8 @@ var (
 		"Seed-set cache FIFO evictions.")
 	seedCacheSize = obs.Default().Gauge("trendspeed_api_seed_cache_entries",
 		"Seed-set cache entries currently held.")
+	seedSingleflightWaits = obs.Default().Counter("trendspeed_api_seed_singleflight_waits_total",
+		"Requests that waited on an in-flight seed selection for the same k instead of re-running it.")
 )
 
 // roadResponse describes one road.
@@ -429,10 +497,21 @@ func (s *Server) runEstimate(w http.ResponseWriter, r *http.Request) (estimateRe
 	}
 	res, err := s.est.Estimate(req.Slot, seedSpeeds)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "estimation failed: %v", err)
+		writeErr(w, estimateStatus(err), "estimation failed: %v", err)
 		return estimateResult{}, false
 	}
 	return estimateResult{Estimate: res, seeded: len(seedSpeeds)}, true
+}
+
+// estimateStatus classifies an Estimate error: bad request input is the
+// caller's fault (400); anything else is an internal inference failure
+// (500), so operators can alert on the 5xx class without chasing client
+// noise.
+func estimateStatus(err error) int {
+	if errors.Is(err, core.ErrInvalidInput) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 // handleMap runs an estimation round and renders it as a plain-text ASCII

@@ -1,0 +1,188 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+// TestConcurrentSeedsAndEstimate is the race regression for the seed-model
+// snapshot: /v1/seeds retrains and republishes the seed-conditional model
+// while /v1/estimate rounds are mid-flight. On the pre-snapshot estimator
+// this fails under -race (Prepare wrote a plain field Estimate was reading);
+// now every round finishes on the snapshot it loaded at entry. Distinct k
+// values on purpose: each one misses the cache and forces a republish.
+func TestConcurrentSeedsAndEstimate(t *testing.T) {
+	ts, d := newTestServer(t)
+	truth := d.Truth()
+	var reports []seedReport
+	for r := 0; r < d.Net.NumRoads(); r += 12 {
+		reports = append(reports, seedReport{Road: roadnet.RoadID(r), Speed: truth[r]})
+	}
+	payload, _ := json.Marshal(estimateRequest{Slot: d.Slot(), Reports: reports})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 3; k <= 8; k++ {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/seeds?k=%d", ts.URL, k))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("seeds k=%d → %d", k, resp.StatusCode)
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("estimate → %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSeedSingleflight: concurrent requests for the same budget share one
+// selection run instead of re-running it behind the lock.
+func TestSeedSingleflight(t *testing.T) {
+	_, est := fixtures(t)
+	srv, err := NewServer(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := seedCacheMisses.Value()
+	const k = 5
+	var wg sync.WaitGroup
+	results := make([][]roadnet.RoadID, 6)
+	for i := 0; i < len(results); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seeds, err := srv.seedsFor(k)
+			if err != nil {
+				t.Errorf("seedsFor: %v", err)
+				return
+			}
+			results[i] = seeds
+		}(i)
+	}
+	wg.Wait()
+	// Every caller sees the same selected set.
+	for i := 1; i < len(results); i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("caller %d got %d seeds, caller 0 got %d", i, len(results[i]), len(results[0]))
+		}
+		for j := range results[i] {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("caller %d seed set differs at %d", i, j)
+			}
+		}
+	}
+	// At most one miss per concurrent burst for a single k (exactly one here,
+	// since k=5 was not cached on this fresh server).
+	if got := seedCacheMisses.Value() - missesBefore; got != 1 {
+		t.Errorf("cache misses for one k = %v, want 1 (selection re-ran %v times)", got, got)
+	}
+}
+
+// TestInstrumentRecoversPanic drives a panicking handler through the
+// middleware directly: the client gets a 500, the in-flight gauge returns to
+// baseline, and the panic and 5xx counters move.
+func TestInstrumentRecoversPanic(t *testing.T) {
+	h := instrument("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	inFlightBefore := httpInFlight.Value()
+	panicsBefore := httpPanics("/boom").Value()
+	errClassBefore := httpRequests("/boom", "5xx").Value()
+
+	rw := httptest.NewRecorder()
+	h(rw, httptest.NewRequest("GET", "/boom", nil))
+
+	if rw.Code != http.StatusInternalServerError {
+		t.Errorf("panicking handler → %d, want 500", rw.Code)
+	}
+	var e errorBody
+	if err := json.Unmarshal(rw.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "internal error") {
+		t.Errorf("panic body = %q (decode err %v)", rw.Body.String(), err)
+	}
+	if got := httpInFlight.Value(); got != inFlightBefore {
+		t.Errorf("in-flight gauge leaked: %v, want %v", got, inFlightBefore)
+	}
+	if got := httpPanics("/boom").Value(); got != panicsBefore+1 {
+		t.Errorf("panic counter %v → %v, want +1", panicsBefore, got)
+	}
+	if got := httpRequests("/boom", "5xx").Value(); got != errClassBefore+1 {
+		t.Errorf("5xx counter %v → %v, want +1", errClassBefore, got)
+	}
+
+	// A panic after headers went out cannot unsend them, but accounting must
+	// still record a server error.
+	late := instrument("/boom-late", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("after headers")
+	})
+	lateBefore := httpRequests("/boom-late", "5xx").Value()
+	rw = httptest.NewRecorder()
+	late(rw, httptest.NewRequest("GET", "/boom-late", nil))
+	if got := httpRequests("/boom-late", "5xx").Value(); got != lateBefore+1 {
+		t.Errorf("late-panic 5xx counter %v → %v, want +1", lateBefore, got)
+	}
+	if got := httpInFlight.Value(); got != inFlightBefore {
+		t.Errorf("in-flight gauge leaked after late panic: %v, want %v", got, inFlightBefore)
+	}
+}
+
+// TestEstimateStatus maps error classes to HTTP statuses.
+func TestEstimateStatus(t *testing.T) {
+	if got := estimateStatus(fmt.Errorf("round: %w", core.ErrInvalidInput)); got != http.StatusBadRequest {
+		t.Errorf("invalid input → %d, want 400", got)
+	}
+	if got := estimateStatus(errors.New("solver exploded")); got != http.StatusInternalServerError {
+		t.Errorf("internal failure → %d, want 500", got)
+	}
+}
+
+// TestEstimateInvalidSeedSpeedIs400: a non-finite crowd speed is the
+// caller's fault and must not surface as a 5xx.
+func TestEstimateInvalidSeedSpeedIs400(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"slot":0,"reports":[{"road":0,"speed_mps":0}]}`
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero seed speed → %d, want 400", resp.StatusCode)
+	}
+}

@@ -13,9 +13,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/corr"
 	"repro/internal/crowd"
@@ -36,7 +38,7 @@ import (
 var (
 	stageSeconds = func(stage string) *obs.Histogram {
 		return obs.Default().Histogram("trendspeed_core_stage_duration_seconds",
-			"Offline build stage wall time: corr_build, hlm_train, seedsel_prepare, seed_specialize.",
+			"Offline build stage wall time: corr_build, hlm_train, seedsel_prepare, trend_topology, seed_specialize.",
 			obs.DefBuckets, "stage", stage)
 	}
 	estimateSeconds = func(phase string) *obs.Histogram {
@@ -107,10 +109,23 @@ func DefaultOptions() Options {
 	}
 }
 
-// Estimator is the trained system. It is immutable after New and safe for
-// concurrent Estimate calls (engines and the HLM do not share mutable
-// state), except for engines with internal randomness configured by the
-// caller.
+// ErrInvalidInput marks estimation failures caused by the caller's request
+// (out-of-range seed roads, non-finite or non-positive speeds) rather than
+// by the inference machinery. API layers use errors.Is against it to answer
+// 4xx instead of 5xx.
+var ErrInvalidInput = errors.New("invalid input")
+
+// Estimator is the trained system. Everything built by New (graph, HLM,
+// seed-selection problem, trend topology) is immutable, so Estimate calls
+// may run concurrently with each other. The one mutable piece of state — the
+// seed-conditional model retrained by Prepare/SelectSeeds — is published as
+// an immutable snapshot through an atomic pointer: Prepare builds the new
+// model off to the side and swaps it in, and every estimation round loads
+// exactly one snapshot at entry and uses only that. Estimate may therefore
+// also run concurrently with Prepare/SelectSeeds; a round in flight during a
+// swap simply finishes on the snapshot it started with. The remaining caveat
+// is caller-configured engines with internal randomness (e.g. Gibbs), which
+// are only as safe as the engine itself.
 type Estimator struct {
 	net   *roadnet.Network
 	db    *history.DB
@@ -124,9 +139,15 @@ type Estimator struct {
 	preTrendNoise  float64
 	trendTemper    float64
 
-	// seedModel is the model specialised to the last Prepare'd seed set;
-	// nil until Prepare (or SelectSeeds) runs.
-	seedModel *hlm.SeedModel
+	// trendTopo is the BP message-passing structure of the correlation
+	// graph, built once here so per-round trend models skip the O(E·deg)
+	// rebuild.
+	trendTopo *mrf.Topology
+
+	// seedModel is the snapshot of the model specialised to the last
+	// Prepare'd seed set; nil until Prepare (or SelectSeeds) runs. Rounds
+	// load it once at entry (see estimateWith).
+	seedModel atomic.Pointer[hlm.SeedModel]
 	special   hlm.SpecializeConfig
 }
 
@@ -169,6 +190,13 @@ func New(net *roadnet.Network, db *history.DB, opts Options) (*Estimator, error)
 	}); err != nil {
 		return nil, fmt.Errorf("core: preparing seed selection: %w", err)
 	}
+	var trendTopo *mrf.Topology
+	if err := timeStage(ctx, "trend_topology", func() (err error) {
+		trendTopo, err = mrf.NewTopology(graph)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: building trend topology: %w", err)
+	}
 	engine := opts.Engine
 	if engine == nil {
 		bp, err := mrf.NewBP(opts.BP)
@@ -204,7 +232,7 @@ func New(net *roadnet.Network, db *history.DB, opts Options) (*Estimator, error)
 		net: net, db: db, graph: graph, model: model,
 		problem: problem, selector: selector, engine: engine,
 		seedTrendNoise: noise, preTrendNoise: preNoise, trendTemper: temper,
-		special: special,
+		trendTopo: trendTopo, special: special,
 	}, nil
 }
 
@@ -299,10 +327,16 @@ func (e *Estimator) SelectSeeds(k int) ([]roadnet.RoadID, error) {
 // online deployment step after seed selection). Estimate calls made before
 // Prepare — or with a seed set disjoint from the prepared one — use the
 // generic propagation model.
+//
+// Prepare is safe to call while Estimate rounds are in flight: the new
+// model is trained entirely off to the side and published atomically; rounds
+// already running keep the snapshot they loaded at entry. Concurrent Prepare
+// calls are individually safe and last-write-wins, matching the "model of
+// the last Prepare'd seed set" contract.
 func (e *Estimator) Prepare(seeds []roadnet.RoadID) error {
 	for _, s := range seeds {
 		if int(s) < 0 || int(s) >= e.net.NumRoads() {
-			return fmt.Errorf("core: seed road %d out of range [0,%d)", s, e.net.NumRoads())
+			return fmt.Errorf("core: seed road %d out of range [0,%d): %w", s, e.net.NumRoads(), ErrInvalidInput)
 		}
 	}
 	var sm *hlm.SeedModel
@@ -312,7 +346,7 @@ func (e *Estimator) Prepare(seeds []roadnet.RoadID) error {
 	}); err != nil {
 		return fmt.Errorf("core: specialising to seed set: %w", err)
 	}
-	e.seedModel = sm
+	e.seedModel.Store(sm)
 	return nil
 }
 
@@ -427,16 +461,21 @@ func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64
 }
 
 // estimateWith is the uninstrumented round body; ctx carries the round span
-// so the per-phase spans nest under it.
+// so the per-phase spans nest under it. The seed-model snapshot is loaded
+// exactly once here and threaded through both regression passes, so a
+// concurrent Prepare cannot hand one round two different models.
 func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
 	n := e.net.NumRoads()
+	seedModel := e.seedModel.Load()
 	seedRels := make(map[roadnet.RoadID]float64, len(seedSpeeds))
 	for road, speed := range seedSpeeds {
 		if int(road) < 0 || int(road) >= n {
-			return nil, fmt.Errorf("core: seed road %d out of range", road)
+			return nil, fmt.Errorf("core: seed road %d out of range: %w", road, ErrInvalidInput)
 		}
-		if speed <= 0 || math.IsNaN(speed) {
-			return nil, fmt.Errorf("core: invalid seed speed %v on road %d", speed, road)
+		// Non-finite speeds must be rejected here: a single +Inf seed would
+		// otherwise poison Rels/Speeds network-wide through the regressions.
+		if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+			return nil, fmt.Errorf("core: invalid seed speed %v on road %d: %w", speed, road, ErrInvalidInput)
 		}
 		mean, ok := e.db.Mean(road, slot)
 		if !ok || mean <= 0 {
@@ -451,7 +490,7 @@ func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[r
 			rels, err = e.estimateRels(&hlm.Request{
 				Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, n),
 				TrendFree: true, Flat: opts.FlatHLM,
-			}, opts.NoSeedModel)
+			}, seedModel, opts.NoSeedModel)
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("core: trend-free inference: %w", err)
@@ -477,7 +516,7 @@ func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[r
 	if err := timePhase(ctx, "pre_pass", func() (err error) {
 		preRels, err = e.estimateRels(&hlm.Request{
 			Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
-		}, opts.NoSeedModel)
+		}, seedModel, opts.NoSeedModel)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: magnitude pre-pass: %w", err)
@@ -499,7 +538,7 @@ func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[r
 	}
 	var trends *mrf.Result
 	if err := timePhase(ctx, "trend", func() error {
-		model, err := mrf.NewModel(e.graph, priors)
+		model, err := mrf.NewModelWithTopology(e.trendTopo, priors)
 		if err != nil {
 			return fmt.Errorf("building trend model: %w", err)
 		}
@@ -539,7 +578,7 @@ func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[r
 			TrendUp:  trendUp,
 			PUp:      pUp,
 			Flat:     opts.FlatHLM,
-		}, opts.NoSeedModel)
+		}, seedModel, opts.NoSeedModel)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: speed inference: %w", err)
@@ -553,19 +592,20 @@ func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[r
 	}, nil
 }
 
-// estimateRels routes an HLM request through the seed-conditional model
-// when one is prepared and the request's seeds overlap it; otherwise the
-// generic propagation model runs.
-func (e *Estimator) estimateRels(req *hlm.Request, noSeedModel bool) ([]float64, error) {
-	if e.seedModel != nil && !noSeedModel {
+// estimateRels routes an HLM request through the given seed-conditional
+// snapshot when the request's seeds overlap it; otherwise the generic
+// propagation model runs. The snapshot is the one the round loaded at entry,
+// never re-read, so both regression passes of a round agree on the model.
+func (e *Estimator) estimateRels(req *hlm.Request, seedModel *hlm.SeedModel, noSeedModel bool) ([]float64, error) {
+	if seedModel != nil && !noSeedModel {
 		overlap := 0
 		for r := range req.SeedRels {
-			if e.seedModel.SeedSet(r) {
+			if seedModel.SeedSet(r) {
 				overlap++
 			}
 		}
 		if overlap*2 >= len(req.SeedRels) && overlap > 0 {
-			return e.seedModel.Estimate(req)
+			return seedModel.Estimate(req)
 		}
 	}
 	return e.model.Estimate(req)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/linalg"
+	"repro/internal/par"
 	"repro/internal/roadnet"
 )
 
@@ -272,36 +273,41 @@ func (sm *SeedModel) Estimate(req *Request) ([]float64, error) {
 		return nil, err
 	}
 	n := len(base)
-	for r := 0; r < n; r++ {
-		srm := &sm.roads[r]
-		if len(srm.feats) == 0 {
-			continue
-		}
-		if _, isSeed := req.SeedRels[roadnet.RoadID(r)]; isSeed {
-			continue
-		}
-		x := make([]float64, len(srm.feats))
-		reported := 0
-		for i, f := range srm.feats {
-			if v, ok := req.SeedRels[f]; ok {
-				x[i] = clampRel(v)
-				reported++
-			} else {
-				x[i] = srm.impute[i]
+	// Each road's seed regression reads only the request and writes only its
+	// own slot, so the fusion loop fans out across the worker pool.
+	par.For(n, 0, func(start, end int) {
+		x := make([]float64, sm.cfg.MaxFeatures) // per-chunk scratch
+		for r := start; r < end; r++ {
+			srm := &sm.roads[r]
+			if len(srm.feats) == 0 {
+				continue
 			}
+			if _, isSeed := req.SeedRels[roadnet.RoadID(r)]; isSeed {
+				continue
+			}
+			x = x[:len(srm.feats)]
+			reported := 0
+			for i, f := range srm.feats {
+				if v, ok := req.SeedRels[f]; ok {
+					x[i] = clampRel(v)
+					reported++
+				} else {
+					x[i] = srm.impute[i]
+				}
+			}
+			if reported == 0 {
+				continue // nothing observed: keep the generic estimate
+			}
+			pred, w, ok := sm.predictWith(srm, x, req, roadnet.RoadID(r))
+			if !ok {
+				continue
+			}
+			// Blend with the generic estimate by the regression's precision so
+			// weak seed regressions do not override a strong generic estimate.
+			_ = w
+			base[r] = clampRel(pred)
 		}
-		if reported == 0 {
-			continue // nothing observed: keep the generic estimate
-		}
-		pred, w, ok := sm.predictWith(srm, x, req, roadnet.RoadID(r))
-		if !ok {
-			continue
-		}
-		// Blend with the generic estimate by the regression's precision so
-		// weak seed regressions do not override a strong generic estimate.
-		_ = w
-		base[r] = clampRel(pred)
-	}
+	})
 	return base, nil
 }
 

@@ -28,6 +28,16 @@ func (m *RidgeModel) Predict(x []float64) (float64, error) {
 	return m.Intercept + Dot(m.Coef, x), nil
 }
 
+// Predict1 evaluates a single-feature model at x without allocating the
+// feature slice Predict requires; the per-pair regressions on the estimation
+// hot path call this thousands of times per round.
+func (m *RidgeModel) Predict1(x float64) (float64, error) {
+	if len(m.Coef) != 1 {
+		return 0, fmt.Errorf("%w: model has %d features, input has 1", ErrShape, len(m.Coef))
+	}
+	return m.Intercept + m.Coef[0]*x, nil
+}
+
 // RidgeFit fits y ≈ w₀ + Σ wⱼ xⱼ with an L2 penalty lambda on the weights
 // (the intercept is not penalised, implemented by centring). X is the n×p
 // design matrix as row slices; y has n responses. lambda must be ≥ 0; a

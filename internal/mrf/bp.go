@@ -3,15 +3,18 @@ package mrf
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/obs"
-	"repro/internal/roadnet"
+	"repro/internal/par"
 )
 
 // BP observability: iterations-to-convergence, the final message residual
 // and the count of runs that hit MaxIterations without meeting Tolerance.
 // The paper's efficiency claim rests on BP converging in a few rounds, so
 // these are first-class signals for every perf PR (see internal/obs).
+// Buffer-reuse counts how often a run served its message arrays from the
+// sync.Pool instead of allocating; with a warm pool it tracks bpRuns.
 var (
 	bpIterations = obs.Default().Histogram("trendspeed_bp_iterations",
 		"Loopy-BP message-passing rounds until convergence (or MaxIterations).",
@@ -22,6 +25,8 @@ var (
 		"BP runs that exhausted MaxIterations above Tolerance.")
 	bpRuns = obs.Default().Counter("trendspeed_bp_runs_total",
 		"Total BP inference runs.")
+	bpBufReuse = obs.Default().Counter("trendspeed_bp_buffer_reuse_total",
+		"BP message buffers served from the pool instead of freshly allocated.")
 )
 
 // BPConfig parameterises loopy belief propagation.
@@ -34,6 +39,9 @@ type BPConfig struct {
 	// Tolerance stops iteration once the largest message change in a round
 	// falls below it.
 	Tolerance float64
+	// Workers bounds the goroutines used per message round; 0 means
+	// GOMAXPROCS. Small graphs run serially regardless (par.SerialCutoff).
+	Workers int
 }
 
 // DefaultBPConfig returns settings that converge on city-scale graphs.
@@ -52,13 +60,18 @@ func (c *BPConfig) Validate() error {
 	if c.Tolerance <= 0 {
 		return fmt.Errorf("mrf: Tolerance must be positive, got %v", c.Tolerance)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("mrf: Workers must be ≥ 0, got %d", c.Workers)
+	}
 	return nil
 }
 
 // BP is the loopy sum-product engine: the default trend-inference engine of
-// the reproduction.
+// the reproduction. It is safe for concurrent Infer calls; the message
+// buffers are pooled across runs.
 type BP struct {
-	cfg BPConfig
+	cfg  BPConfig
+	pool sync.Pool // of []float64 message buffers
 }
 
 // NewBP returns a BP engine.
@@ -72,44 +85,53 @@ func NewBP(cfg BPConfig) (*BP, error) {
 // Name implements Engine.
 func (*BP) Name() string { return "bp" }
 
+// getBuf returns a pooled message buffer of the given length, allocating
+// when the pool is empty or holds a smaller graph's buffer.
+func (b *BP) getBuf(size int) []float64 {
+	if v := b.pool.Get(); v != nil {
+		if s := v.([]float64); cap(s) >= size {
+			bpBufReuse.Inc()
+			return s[:size]
+		}
+	}
+	return make([]float64, size)
+}
+
 // Infer implements Engine. Messages are represented by their "up"
 // probability; with binary states the "down" component is implied.
+//
+// The message schedule is Jacobi: every directed edge's new message is
+// computed from the previous round's messages only, so the per-node update
+// loop writes disjoint slots and fans out across a worker pool (BPConfig.
+// Workers) without changing the numerical result.
 func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 	ev, err := evidenceMap(m, evidence)
 	if err != nil {
 		return nil, err
 	}
+	topo, err := m.topology()
+	if err != nil {
+		return nil, err
+	}
 	n := m.NumRoads()
-	g := m.graph
+	nEdges := topo.NumDirectedEdges()
 
-	// Directed-edge message storage: for node u, msg[u][k] is the message
-	// from u's k-th neighbour to u, as P(up). Initialise uniform.
-	msg := make([][]float64, n)
-	next := make([][]float64, n)
-	// revIdx[u][k] is the index of u within (neighbour k of u)'s list, so a
-	// new message can be written into the receiver's slot directly.
-	revIdx := make([][]int, n)
-	for u := 0; u < n; u++ {
-		nbs := g.Neighbors(roadnet.RoadID(u))
-		msg[u] = make([]float64, len(nbs))
-		next[u] = make([]float64, len(nbs))
-		revIdx[u] = make([]int, len(nbs))
-		for k := range nbs {
-			msg[u][k] = 0.5
-			revIdx[u][k] = -1
-			for j, back := range g.Neighbors(nbs[k].To) {
-				if back.To == roadnet.RoadID(u) {
-					revIdx[u][k] = j
-					break
-				}
-			}
-			if revIdx[u][k] == -1 {
-				return nil, fmt.Errorf("mrf: correlation graph is not symmetric at edge %d-%d", u, nbs[k].To)
-			}
-		}
+	// Directed-edge message storage in the topology's CSR layout: slot i in
+	// [off[u], off[u+1]) is the message from neighbour to[i] into u, as
+	// P(up). Initialise uniform. Every slot is rewritten each round (its
+	// sender always has ≥ 1 neighbour), so the round boundary is a pointer
+	// swap, not a copy.
+	msg := b.getBuf(nEdges)
+	next := b.getBuf(nEdges)
+	defer func() {
+		b.pool.Put(msg[:cap(msg)])
+		b.pool.Put(next[:cap(next)])
+	}()
+	for i := range msg {
+		msg[i] = 0.5
 	}
 
-	// nodeBelief returns the unnormalised (up, down) potential of u given
+	// nodePot returns the unnormalised (up, down) potential of u given
 	// evidence, excluding incoming messages.
 	nodePot := func(u int) (up, down float64) {
 		switch ev[u] {
@@ -124,49 +146,51 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 
 	iters := 0
 	lastDelta := math.Inf(1)
+	damping := b.cfg.Damping
 	for iter := 0; iter < b.cfg.MaxIterations; iter++ {
-		var maxDelta float64
-		for u := 0; u < n; u++ {
-			nbs := g.Neighbors(roadnet.RoadID(u))
-			if len(nbs) == 0 {
-				continue
-			}
-			phiUp, phiDown := nodePot(u)
-			// Product of all incoming messages, in log space for stability.
-			var logUp, logDown float64
-			for k := range nbs {
-				p := msg[u][k]
-				logUp += math.Log(clamp01(p))
-				logDown += math.Log(clamp01(1 - p))
-			}
-			for k, e := range nbs {
-				// Cavity: remove neighbour k's own message.
-				cUp := logUp - math.Log(clamp01(msg[u][k]))
-				cDown := logDown - math.Log(clamp01(1-msg[u][k]))
-				hUp := phiUp * math.Exp(cUp)
-				hDown := phiDown * math.Exp(cDown)
-				// Marginalise over x_u for each x_v.
-				a := m.agreement(e.Agreement)
-				mUp := hUp*edgePotential(a, true) + hDown*edgePotential(a, false)
-				mDown := hUp*edgePotential(a, false) + hDown*edgePotential(a, true)
-				z := mUp + mDown
-				if z <= 0 || math.IsNaN(z) {
-					mUp, mDown, z = 0.5, 0.5, 1
+		maxDelta := par.ForMax(n, b.cfg.Workers, func(start, end int) float64 {
+			var localMax float64
+			for u := start; u < end; u++ {
+				lo, hi := int(topo.off[u]), int(topo.off[u+1])
+				if lo == hi {
+					continue
 				}
-				newMsg := mUp / z
-				slot := revIdx[u][k]
-				old := msg[e.To][slot]
-				damped := (1-b.cfg.Damping)*newMsg + b.cfg.Damping*old
-				next[e.To][slot] = damped
-				if d := math.Abs(damped - old); d > maxDelta {
-					maxDelta = d
+				phiUp, phiDown := nodePot(u)
+				// Product of all incoming messages, in log space for
+				// stability.
+				var logUp, logDown float64
+				for i := lo; i < hi; i++ {
+					p := msg[i]
+					logUp += math.Log(clamp01(p))
+					logDown += math.Log(clamp01(1 - p))
+				}
+				for i := lo; i < hi; i++ {
+					// Cavity: remove the receiving neighbour's own message.
+					cUp := logUp - math.Log(clamp01(msg[i]))
+					cDown := logDown - math.Log(clamp01(1-msg[i]))
+					hUp := phiUp * math.Exp(cUp)
+					hDown := phiDown * math.Exp(cDown)
+					// Marginalise over x_u for each x_v.
+					a := m.agreement(topo.agree[i])
+					mUp := hUp*edgePotential(a, true) + hDown*edgePotential(a, false)
+					mDown := hUp*edgePotential(a, false) + hDown*edgePotential(a, true)
+					z := mUp + mDown
+					if z <= 0 || math.IsNaN(z) {
+						mUp, mDown, z = 0.5, 0.5, 1
+					}
+					newMsg := mUp / z
+					slot := topo.rev[i]
+					old := msg[slot]
+					damped := (1-damping)*newMsg + damping*old
+					next[slot] = damped
+					if d := math.Abs(damped - old); d > localMax {
+						localMax = d
+					}
 				}
 			}
-		}
-		// Nodes with no neighbours have no slots; copy next → msg.
-		for u := range msg {
-			copy(msg[u], next[u])
-		}
+			return localMax
+		})
+		msg, next = next, msg
 		iters = iter + 1
 		lastDelta = maxDelta
 		if maxDelta < b.cfg.Tolerance {
@@ -181,24 +205,26 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 	}
 
 	out := make([]float64, n)
-	for u := 0; u < n; u++ {
-		phiUp, phiDown := nodePot(u)
-		logUp, logDown := math.Log(clamp01(phiUp)), math.Log(clamp01(phiDown))
-		if phiUp == 0 {
-			logUp = math.Inf(-1)
+	par.For(n, b.cfg.Workers, func(start, end int) {
+		for u := start; u < end; u++ {
+			phiUp, phiDown := nodePot(u)
+			logUp, logDown := math.Log(clamp01(phiUp)), math.Log(clamp01(phiDown))
+			if phiUp == 0 {
+				logUp = math.Inf(-1)
+			}
+			if phiDown == 0 {
+				logDown = math.Inf(-1)
+			}
+			for i := int(topo.off[u]); i < int(topo.off[u+1]); i++ {
+				logUp += math.Log(clamp01(msg[i]))
+				logDown += math.Log(clamp01(1 - msg[i]))
+			}
+			mx := math.Max(logUp, logDown)
+			pu := math.Exp(logUp - mx)
+			pd := math.Exp(logDown - mx)
+			out[u] = pu / (pu + pd)
 		}
-		if phiDown == 0 {
-			logDown = math.Inf(-1)
-		}
-		for k := range msg[u] {
-			logUp += math.Log(clamp01(msg[u][k]))
-			logDown += math.Log(clamp01(1 - msg[u][k]))
-		}
-		mx := math.Max(logUp, logDown)
-		pu := math.Exp(logUp - mx)
-		pd := math.Exp(logDown - mx)
-		out[u] = pu / (pu + pd)
-	}
+	})
 	return &Result{PUp: out}, nil
 }
 

@@ -31,6 +31,7 @@ type Evidence struct {
 // Model is an MRF instance for one time slot.
 type Model struct {
 	graph  *corr.Graph
+	topo   *Topology // message-passing structure; lazily built when absent
 	prior  []float64 // P(x_r = up) per road, from history
 	temper float64   // edge-potential temper in (0, 1]
 }
@@ -57,6 +58,33 @@ func NewModel(graph *corr.Graph, prior []float64) (*Model, error) {
 		p[i] = v
 	}
 	return &Model{graph: graph, prior: p, temper: 1}, nil
+}
+
+// NewModelWithTopology is NewModel for callers that run many models over the
+// same immutable graph (one per estimation round): the precomputed topology
+// is shared, so per-round model construction allocates only the clipped
+// priors.
+func NewModelWithTopology(topo *Topology, prior []float64) (*Model, error) {
+	m, err := NewModel(topo.Graph(), prior)
+	if err != nil {
+		return nil, err
+	}
+	m.topo = topo
+	return m, nil
+}
+
+// topology returns the model's message-passing structure, building and
+// memoising it on first use. A Model belongs to a single inference round (one
+// goroutine), so the lazy write is unsynchronised by design.
+func (m *Model) topology() (*Topology, error) {
+	if m.topo == nil {
+		t, err := NewTopology(m.graph)
+		if err != nil {
+			return nil, err
+		}
+		m.topo = t
+	}
+	return m.topo, nil
 }
 
 // SetEdgeTemper scales every edge potential's pull toward agreement:

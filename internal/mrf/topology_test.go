@@ -1,0 +1,165 @@
+package mrf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corr"
+	"repro/internal/roadnet"
+)
+
+// TestTopologyInvariants asserts the CSR structure mirrors the graph and the
+// reverse-edge index is a true involution: rev[rev[i]] == i and following
+// rev lands on the opposite endpoint's slot.
+func TestTopologyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := randomSmallGraph(rng, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumRoads()
+	if topo.Graph() != g {
+		t.Error("topology does not retain its graph")
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		nbs := g.Neighbors(roadnet.RoadID(u))
+		lo, hi := int(topo.off[u]), int(topo.off[u+1])
+		if hi-lo != len(nbs) {
+			t.Fatalf("node %d has %d slots for %d neighbours", u, hi-lo, len(nbs))
+		}
+		total += len(nbs)
+		for k, e := range nbs {
+			i := lo + k
+			if topo.to[i] != int32(e.To) {
+				t.Fatalf("slot %d: to=%d want %d", i, topo.to[i], e.To)
+			}
+			if topo.agree[i] != e.Agreement {
+				t.Fatalf("slot %d: agree=%v want %v", i, topo.agree[i], e.Agreement)
+			}
+			r := topo.rev[i]
+			// The reverse slot lives in the neighbour's range and points back.
+			if r < topo.off[e.To] || r >= topo.off[e.To+1] {
+				t.Fatalf("slot %d: rev %d outside node %d's range", i, r, e.To)
+			}
+			if topo.to[r] != int32(u) {
+				t.Fatalf("slot %d: reverse edge points at %d, want %d", i, topo.to[r], u)
+			}
+			if topo.rev[r] != int32(i) {
+				t.Fatalf("slot %d: rev is not an involution (rev[rev]=%d)", i, topo.rev[r])
+			}
+		}
+	}
+	if topo.NumDirectedEdges() != total {
+		t.Errorf("NumDirectedEdges = %d, want %d", topo.NumDirectedEdges(), total)
+	}
+}
+
+// TestModelWithTopologyMatchesFresh asserts BP produces identical marginals
+// whether the topology is shared (the estimator's per-round path) or built
+// lazily inside Infer.
+func TestModelWithTopologyMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := randomSmallGraph(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := make([]float64, g.NumRoads())
+	for i := range priors {
+		priors[i] = 0.2 + 0.6*rng.Float64()
+	}
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := mustBP(t)
+	fresh, err := NewModel(g, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewModelWithTopology(topo, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := bp.Infer(fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := bp.Infer(shared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rf.PUp {
+		if rf.PUp[i] != rs.PUp[i] {
+			t.Fatalf("road %d: shared-topology marginal %v != fresh %v", i, rs.PUp[i], rf.PUp[i])
+		}
+	}
+}
+
+// gridForBench builds a W×H lattice correlation graph: the shape of a city
+// arterial grid, large enough to exercise the parallel message rounds.
+func gridForBench(w, h int) (*corr.Graph, []float64, error) {
+	var es []corr.EdgeSpec
+	id := func(x, y int) roadnet.RoadID { return roadnet.RoadID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				es = append(es, corr.EdgeSpec{U: id(x, y), V: id(x+1, y), Agreement: 0.72, N: 50})
+			}
+			if y+1 < h {
+				es = append(es, corr.EdgeSpec{U: id(x, y), V: id(x, y+1), Agreement: 0.68, N: 50})
+			}
+		}
+	}
+	g, err := corr.NewGraph(w*h, es)
+	if err != nil {
+		return nil, nil, err
+	}
+	priors := make([]float64, w*h)
+	for i := range priors {
+		priors[i] = 0.3 + 0.4*float64(i%7)/6
+	}
+	return g, priors, nil
+}
+
+// BenchmarkBPInfer measures one BP run over a lattice at two scales with the
+// topology shared across iterations — the estimator's per-round
+// configuration. allocs/op is the headline: message structure must come from
+// the pool, not per-run rebuilds.
+func BenchmarkBPInfer(b *testing.B) {
+	for _, sz := range []struct{ w, h int }{{24, 16}, {64, 48}} {
+		b.Run(fmt.Sprintf("roads=%d", sz.w*sz.h), func(b *testing.B) {
+			g, priors, err := gridForBench(sz.w, sz.h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			topo, err := NewTopology(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bp, err := NewBP(DefaultBPConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := NewModelWithTopology(topo, priors)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.SetEdgeTemper(0.2); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := bp.Infer(m, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

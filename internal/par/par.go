@@ -1,0 +1,120 @@
+// Package par provides the data-parallel for-loop used by the estimation
+// round's hot paths (BP message rounds, per-road regression fusion). It is a
+// deliberately tiny worker-pool abstraction: contiguous index ranges fanned
+// out over a bounded number of goroutines, with a serial cutoff so small
+// inputs never pay goroutine overhead.
+//
+// Callers must only write to disjoint output indices from within the body;
+// par adds no synchronisation beyond the final join.
+package par
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// SerialCutoff is the input size below which For runs the body inline: at
+// city scale the hot loops see tens of thousands of roads, while tests and
+// toy graphs see dozens, where goroutine fan-out costs more than it saves.
+const SerialCutoff = 256
+
+// Pool observability: how often the hot loops actually fan out, and the
+// fan-out width. Exposed through the obs default registry so benchrunner's
+// -json report captures the parallelism behind each timing.
+var (
+	parRuns = func(mode string) *obs.Counter {
+		return obs.Default().Counter("trendspeed_par_runs_total",
+			"Data-parallel loop executions by mode (parallel = fanned out, serial = inline).",
+			"mode", mode)
+	}
+	parWorkers = obs.Default().Gauge("trendspeed_par_workers",
+		"Goroutines used by the most recent parallel loop.")
+)
+
+// Workers resolves a worker-count knob: values ≤ 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For splits [0, n) into one contiguous chunk per worker and runs body on
+// each chunk concurrently, returning after every chunk completes. workers ≤ 0
+// selects GOMAXPROCS. Inputs below SerialCutoff (or workers == 1) run inline
+// on the calling goroutine.
+func For(n, workers int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n < SerialCutoff || workers == 1 {
+		parRuns("serial").Inc()
+		body(0, n)
+		return
+	}
+	parRuns("parallel").Inc()
+	parWorkers.Set(float64(workers))
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForMax is For with a per-chunk float64 reduction by maximum: each chunk
+// returns its local maximum and ForMax returns the global one. Used by the
+// BP Jacobi round, whose convergence check needs the largest message change.
+func ForMax(n, workers int, body func(start, end int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n < SerialCutoff || workers == 1 {
+		parRuns("serial").Inc()
+		return body(0, n)
+	}
+	parRuns("parallel").Inc()
+	parWorkers.Set(float64(workers))
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	maxes := make([]float64, nChunks)
+	var wg sync.WaitGroup
+	for i := 0; i < nChunks; i++ {
+		start := i * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(idx, s, e int) {
+			defer wg.Done()
+			maxes[idx] = body(s, e)
+		}(i, start, end)
+	}
+	wg.Wait()
+	max := maxes[0]
+	for _, m := range maxes[1:] {
+		if m > max {
+			max = m
+		}
+	}
+	return max
+}
