@@ -26,10 +26,10 @@ import (
 	"repro/internal/seedsel"
 )
 
-// benchFixture is the shared, lazily-built benchmark dataset and estimator.
+// benchFixture is the shared, lazily-built benchmark dataset and model.
 type benchFixture struct {
 	d     *dataset.Dataset
-	est   *core.Estimator
+	est   *core.Model
 	seeds []roadnet.RoadID // 10% budget, prepared
 	snaps []benchSnap
 }
@@ -132,6 +132,48 @@ func BenchmarkEstimate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := f.est.Estimate(s.slot, reports); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateStoreRebuilt measures the same hot path served through a
+// Store that already survived one ingest→rebuild→swap cycle: the lifecycle
+// layer's per-round overhead is one atomic pointer load, and this keeps the
+// post-swap model's estimate cost on the same regression track as the
+// frozen-model number above.
+func BenchmarkEstimateStoreRebuilt(b *testing.B) {
+	f := getFixture(b)
+	st, err := core.NewStore(f.d.Net, f.d.DB, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.SelectSeeds(len(f.seeds)); err != nil {
+		b.Fatal(err)
+	}
+	s := f.snaps[0]
+	reports := f.reports(s)
+	obsIn := make([]core.Observation, 0, len(f.seeds))
+	for _, sd := range f.seeds {
+		obsIn = append(obsIn, core.Observation{Road: sd, Slot: s.slot, Speed: s.truth[sd]})
+	}
+	if _, err := st.Ingest(obsIn...); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Rebuild(); err != nil {
+		b.Fatal(err)
+	}
+	if v := st.Model().Version(); v != 2 {
+		b.Fatalf("store version %d, want 2", v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Estimate(s.slot, reports)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ModelVersion != 2 {
+			b.Fatalf("round ran on version %d", res.ModelVersion)
 		}
 	}
 }

@@ -21,11 +21,11 @@ type Context struct {
 	cities map[string]*city
 }
 
-// city bundles one dataset with its trained estimator.
+// city bundles one dataset with its trained model.
 type city struct {
 	name string
 	d    *dataset.Dataset
-	est  *core.Estimator
+	est  *core.Model
 }
 
 // NewContext returns an empty context; cities build on first use.

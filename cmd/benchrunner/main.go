@@ -166,7 +166,7 @@ const postscript = `## Reading the results against the paper
 - *Selection quality ordering*: F8 shows lazy = greedy exactly, ahead of
   partition, with heuristics and random clearly behind.
 
-**Honest deviations** (full discussion in DESIGN.md §7):
+**Honest deviations** (full discussion in DESIGN.md §8):
 
 - A1: in this simulator the trend signal is the sign of the same latent
   field that drives magnitudes, so trend-conditioning the regressions
@@ -194,7 +194,7 @@ var claims = map[string]string{
 	"F9":  "lazy greedy is ~2 orders of magnitude faster than plain greedy at realistic budgets.",
 	"F10": "estimation is real-time: far below the slot width even at city scale.",
 	"F11": "graphical-model trend inference beats the history-only prior.",
-	"A1":  "conditioning speed inference on trends improves accuracy. (Not reproduced on this simulator: trend conditioning costs ~1–2% MAE at every budget because the magnitude pathway already carries the same information; the trend *inference* itself is strong — see the accuracy column and F11 — and drives the alerting products. Discussion: DESIGN.md §7.3.)",
+	"A1":  "conditioning speed inference on trends improves accuracy. (Not reproduced on this simulator: trend conditioning costs ~1–2% MAE at every budget because the magnitude pathway already carries the same information; the trend *inference* itself is strong — see the accuracy column and F11 — and drives the alerting products. Discussion: DESIGN.md §8.3.)",
 	"A2":  "the hierarchical structure carries the accuracy: removing the seed-conditional level, then propagation, degrades step by step.",
 	"A3":  "the correlation threshold trades graph density against edge quality.",
 	"A4":  "aggregated crowd answers keep accuracy even with noisy or malicious workers.",

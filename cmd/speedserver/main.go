@@ -1,4 +1,4 @@
-// Command speedserver serves a trained estimator over HTTP (see
+// Command speedserver serves a versioned model store over HTTP (see
 // internal/api for the endpoint list). With -data it loads a datagen
 // directory; otherwise it builds a synthetic city preset.
 //
@@ -6,15 +6,23 @@
 //
 //	speedserver -city t -addr :8080
 //	curl localhost:8080/v1/info
+//	curl localhost:8080/v1/model
 //	curl 'localhost:8080/v1/seeds?k=50'
 //	curl -X POST localhost:8080/v1/estimate -d '{"slot":0,"reports":[{"road":12,"speed_mps":8.5}]}'
+//	curl -X POST localhost:8080/v1/observations -d '{"observations":[{"road":12,"slot":0,"speed_mps":8.5}]}'
 //	curl localhost:8080/metrics
+//
+// Model lifecycle: observations POSTed to /v1/observations buffer in the
+// store; -rebuild-every and -rebuild-min-obs arm the background rebuild
+// loop that folds them into a new immutable model and hot-swaps it without
+// interrupting requests. Both default to off, which freezes the model at
+// version 1 (the pre-lifecycle behaviour).
 //
 // Observability: -metrics (default true) exposes GET /metrics on the main
 // address; -debug-addr starts a second listener with /metrics, pprof,
 // expvar and the span-trace dump, kept off the public address. On SIGINT or
 // SIGTERM the server drains in-flight requests (up to -shutdown-timeout)
-// and flushes a final metrics snapshot to the log.
+// and waits for any in-flight model rebuild before exiting.
 package main
 
 import (
@@ -48,6 +56,8 @@ func main() {
 		metrics     = flag.Bool("metrics", true, "expose GET /metrics on the main address")
 		debugAddr   = flag.String("debug-addr", "", "optional second listen address for /metrics, /debug/pprof, /debug/vars and /debug/trace")
 		shutdownTTL = flag.Duration("shutdown-timeout", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+		rebuildTTL  = flag.Duration("rebuild-every", 0, "rebuild the model on this interval when observations are buffered (0 disables the timer)")
+		rebuildObs  = flag.Int("rebuild-min-obs", 0, "rebuild as soon as this many observations are buffered (0 disables the count trigger)")
 	)
 	flag.Parse()
 
@@ -79,15 +89,23 @@ func main() {
 		net, db = d.Net, d.DB
 	}
 
-	log.Printf("training estimator over %d roads...", net.NumRoads())
+	log.Printf("training model over %d roads...", net.NumRoads())
 	t0 := time.Now()
-	est, err := core.New(net, db, core.DefaultOptions())
+	store, err := core.NewStore(net, db, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("trained in %v", time.Since(t0).Round(time.Millisecond))
+	log.Printf("model v%d trained in %v", store.Model().Version(), time.Since(t0).Round(time.Millisecond))
+	store.OnSwap(func(old, m *core.Model) {
+		log.Printf("model v%d → v%d (%d observations, rebuilt in %v)",
+			old.Version(), m.Version(), m.ObservationCount(), m.BuildDuration().Round(time.Millisecond))
+	})
+	if *rebuildTTL > 0 || *rebuildObs > 0 {
+		store.Start(core.StoreConfig{RebuildEvery: *rebuildTTL, RebuildMinObs: *rebuildObs})
+		log.Printf("background rebuilds armed (every %v, min %d observations)", *rebuildTTL, *rebuildObs)
+	}
 
-	srv, err := api.NewServerWith(est, api.Config{Metrics: *metrics})
+	srv, err := api.NewServerWith(store, api.Config{Metrics: *metrics})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,6 +158,10 @@ func main() {
 				log.Printf("debug shutdown: %v", err)
 			}
 		}
+		// After the HTTP drain, stop the rebuild loop; Close blocks until an
+		// in-flight rebuild finishes its swap, so no build work is torn down
+		// mid-write.
+		store.Close()
 	}
 	log.Printf("final metrics:\n%s", obs.Default().Render())
 }

@@ -1,14 +1,16 @@
-// Package api exposes a trained estimator as a JSON-over-HTTP service: the
-// deployment surface a traffic-information product would put in front of
-// the paper's system. Endpoints:
+// Package api exposes a core.Store — the versioned model lifecycle — as a
+// JSON-over-HTTP service: the deployment surface a traffic-information
+// product would put in front of the paper's system. Endpoints:
 //
-//	GET  /health            liveness probe
-//	GET  /v1/info           network and model statistics
-//	GET  /v1/seeds?k=NN     select a seed set of size k (cached per k)
-//	GET  /v1/roads/{id}     road metadata + historical profile for a slot
-//	POST /v1/estimate       run one estimation round from crowd reports
-//	POST /v1/map            estimation round rendered as an ASCII congestion map
-//	GET  /metrics           Prometheus text exposition of internal/obs (Config.Metrics)
+//	GET  /health              liveness probe
+//	GET  /v1/info             network and model statistics
+//	GET  /v1/model            current model version, build metadata, staleness
+//	GET  /v1/seeds?k=NN       select a seed set of size k (cached per (k, model version))
+//	GET  /v1/roads/{id}       road metadata + historical profile for a slot
+//	POST /v1/estimate         run one estimation round from crowd reports
+//	POST /v1/observations     ingest crowd observations for the next model rebuild
+//	POST /v1/map              estimation round rendered as an ASCII congestion map
+//	GET  /metrics             Prometheus text exposition of internal/obs (Config.Metrics)
 //
 // With Config.Debug (or via DebugMux for a separate listener) the server
 // also mounts /debug/pprof/*, /debug/vars (expvar) and /debug/trace (the
@@ -19,14 +21,16 @@
 // and an in-flight gauge into the obs default registry; a panicking handler
 // is recovered into a 500 so the gauge and counters stay truthful.
 //
-// The handler is safe for concurrent use. Estimation rounds share the
-// estimator's immutable trained state; the one mutable piece — the
-// seed-conditional model retrained by /v1/seeds — is snapshot-published
-// inside core.Estimator, so /v1/estimate rounds racing a /v1/seeds call
-// simply finish on the snapshot they loaded at entry. Seed selection itself
-// is deduplicated per budget k (single flight): concurrent requests for the
-// same k share one selection run, while different budgets run in parallel
-// instead of serialising behind one lock.
+// The handler is safe for concurrent use. Each request resolves exactly one
+// model version from the store at entry and runs entirely on that immutable
+// artifact; /v1/estimate and /v1/seeds report the version they ran on as
+// model_version. Background rebuilds triggered by ingested observations
+// swap a successor model in without blocking any request in flight. Seed
+// selection is deduplicated per (budget k, model version) in single-flight
+// style — concurrent requests for the same key share one selection run —
+// and cached entries for superseded model versions are dropped the moment
+// a rebuild swaps, so /v1/seeds can never serve seeds computed against a
+// stale model.
 package api
 
 import (
@@ -48,12 +52,21 @@ import (
 	"repro/internal/roadnet"
 )
 
-// seedCacheMax bounds the per-k seed cache: each entry can hold thousands
-// of road IDs and retrains the seed model to produce, so an unbounded map
-// is a memory leak under adversarial ?k= scans. Eviction is FIFO — seed
-// sets are deterministic, so recomputing an evicted entry is only a cost,
-// never a correctness issue.
+// seedCacheMax bounds the seed cache: each entry can hold thousands of
+// road IDs and retrains the seed model to produce, so an unbounded map is
+// a memory leak under adversarial ?k= scans. Eviction is FIFO — seed sets
+// are deterministic per model version, so recomputing an evicted entry is
+// only a cost, never a correctness issue. Entries for superseded model
+// versions are additionally dropped on every swap.
 const seedCacheMax = 32
+
+// seedKey identifies one cached seed selection: the budget and the model
+// version it was computed against. Versioned keys are what keep /v1/seeds
+// from serving a set selected on a pre-rebuild (or pre-Prepare) model.
+type seedKey struct {
+	k       int
+	version uint64
+}
 
 // Config toggles the operational endpoints of a Server.
 type Config struct {
@@ -65,17 +78,17 @@ type Config struct {
 	Debug bool
 }
 
-// Server wires a trained estimator into an http.Handler.
+// Server wires a model store into an http.Handler.
 type Server struct {
-	est *core.Estimator
-	mux *http.ServeMux
+	store *core.Store
+	mux   *http.ServeMux
 
 	// mu guards only the cache bookkeeping below; it is never held across
 	// seed selection, so one slow /v1/seeds cannot serialize the API.
 	mu             sync.Mutex
-	seedCache      map[int][]roadnet.RoadID
-	seedCacheOrder []int // insertion order for FIFO eviction
-	seedInflight   map[int]*seedCall
+	seedCache      map[seedKey][]roadnet.RoadID
+	seedCacheOrder []seedKey // insertion order for FIFO eviction
+	seedInflight   map[seedKey]*seedCall
 }
 
 // seedCall is one in-flight seed selection; duplicate requests for the same
@@ -86,28 +99,34 @@ type seedCall struct {
 	err   error
 }
 
-// NewServer returns a Server for a trained estimator with metrics exposed
-// and debug endpoints off; use NewServerWith to choose.
-func NewServer(est *core.Estimator) (*Server, error) {
-	return NewServerWith(est, Config{Metrics: true})
+// NewServer returns a Server for a model store with metrics exposed and
+// debug endpoints off; use NewServerWith to choose.
+func NewServer(store *core.Store) (*Server, error) {
+	return NewServerWith(store, Config{Metrics: true})
 }
 
-// NewServerWith returns a Server for a trained estimator.
-func NewServerWith(est *core.Estimator, cfg Config) (*Server, error) {
-	if est == nil {
-		return nil, fmt.Errorf("api: estimator is required")
+// NewServerWith returns a Server for a model store.
+func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
+	if store == nil {
+		return nil, fmt.Errorf("api: model store is required")
 	}
 	s := &Server{
-		est:          est,
+		store:        store,
 		mux:          http.NewServeMux(),
-		seedCache:    map[int][]roadnet.RoadID{},
-		seedInflight: map[int]*seedCall{},
+		seedCache:    map[seedKey][]roadnet.RoadID{},
+		seedInflight: map[seedKey]*seedCall{},
 	}
+	// Drop seed sets selected against superseded models as soon as a
+	// rebuild swaps; lookups are version-keyed anyway, so this is purely
+	// reclaiming memory and keeping the entries gauge honest.
+	store.OnSwap(func(_, m *core.Model) { s.dropStaleSeeds(m.Version()) })
 	s.handle("GET", "/health", s.handleHealth)
 	s.handle("GET", "/v1/info", s.handleInfo)
+	s.handle("GET", "/v1/model", s.handleModel)
 	s.handle("GET", "/v1/seeds", s.handleSeeds)
 	s.handle("GET", "/v1/roads/{id}", s.handleRoad)
 	s.handle("POST", "/v1/estimate", s.handleEstimate)
+	s.handle("POST", "/v1/observations", s.handleObservations)
 	s.handle("POST", "/v1/map", s.handleMap)
 	if cfg.Metrics {
 		s.handle("GET", "/metrics", handleMetrics)
@@ -279,79 +298,116 @@ type infoResponse struct {
 	CorrEdges      int     `json:"corr_edges"`
 	CorrMeanDegree float64 `json:"corr_mean_degree"`
 	SlotMinutes    float64 `json:"slot_minutes"`
+	ModelVersion   uint64  `json:"model_version"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
-	net := s.est.Net()
+	m := s.store.Model()
+	net := m.Net()
 	writeJSON(w, http.StatusOK, infoResponse{
 		Roads:          net.NumRoads(),
 		Junctions:      net.NumNodes(),
 		LengthKM:       net.TotalLength() / 1000,
-		CorrEdges:      s.est.Graph().NumEdges(),
-		CorrMeanDegree: s.est.Graph().MeanDegree(),
-		SlotMinutes:    s.est.DB().Cal().Width().Minutes(),
+		CorrEdges:      m.Graph().NumEdges(),
+		CorrMeanDegree: m.Graph().MeanDegree(),
+		SlotMinutes:    m.DB().Cal().Width().Minutes(),
+		ModelVersion:   m.Version(),
+	})
+}
+
+// modelResponse describes the currently published model artifact.
+type modelResponse struct {
+	Version          uint64  `json:"version"`
+	BuiltAt          string  `json:"built_at"`
+	BuildSeconds     float64 `json:"build_seconds"`
+	Observations     int     `json:"observations"`
+	BufferedPending  int     `json:"buffered_observations"`
+	StalenessSeconds float64 `json:"staleness_seconds"`
+}
+
+// handleModel reports the published model's version and build metadata —
+// the endpoint an operator polls to confirm ingested observations actually
+// turned into a rebuild.
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	m := s.store.Model()
+	writeJSON(w, http.StatusOK, modelResponse{
+		Version:          m.Version(),
+		BuiltAt:          m.BuiltAt().UTC().Format(time.RFC3339Nano),
+		BuildSeconds:     m.BuildDuration().Seconds(),
+		Observations:     m.ObservationCount(),
+		BufferedPending:  s.store.BufferedObservations(),
+		StalenessSeconds: time.Since(m.BuiltAt()).Seconds(),
 	})
 }
 
 // seedsResponse lists a selected seed set.
 type seedsResponse struct {
-	K       int              `json:"k"`
-	Seeds   []roadnet.RoadID `json:"seeds"`
-	Benefit float64          `json:"benefit"`
+	K            int              `json:"k"`
+	Seeds        []roadnet.RoadID `json:"seeds"`
+	Benefit      float64          `json:"benefit"`
+	ModelVersion uint64           `json:"model_version"`
 }
 
 func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	// Resolve the model once: validation, selection, benefit scoring and the
+	// reported version all refer to the same artifact even if a rebuild
+	// swaps mid-request.
+	m := s.store.Model()
 	kStr := r.URL.Query().Get("k")
 	if kStr == "" {
 		writeErr(w, http.StatusBadRequest, "missing query parameter k")
 		return
 	}
 	k, err := strconv.Atoi(kStr)
-	if err != nil || k < 1 || k > s.est.Net().NumRoads() {
-		writeErr(w, http.StatusBadRequest, "k must be an integer in [1, %d]", s.est.Net().NumRoads())
+	if err != nil || k < 1 || k > m.Net().NumRoads() {
+		writeErr(w, http.StatusBadRequest, "k must be an integer in [1, %d]", m.Net().NumRoads())
 		return
 	}
-	seeds, err := s.seedsFor(k)
+	seeds, err := s.seedsFor(m, k)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "seed selection failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, seedsResponse{K: k, Seeds: seeds, Benefit: s.est.SeedBenefit(seeds)})
+	writeJSON(w, http.StatusOK, seedsResponse{
+		K: k, Seeds: seeds, Benefit: m.SeedBenefit(seeds), ModelVersion: m.Version(),
+	})
 }
 
-// seedsFor caches seed sets per budget: selection retrains the
-// seed-conditional model, which is too expensive per request. The cache is
-// capped at seedCacheMax entries with FIFO eviction so a ?k= scan cannot
-// grow memory without bound.
+// seedsFor caches seed sets per (budget, model version): selection retrains
+// the seed-conditional model, which is too expensive per request. The cache
+// is capped at seedCacheMax entries with FIFO eviction so a ?k= scan cannot
+// grow memory without bound, and entries for superseded versions are
+// dropped by the store's swap hook.
 //
-// Selection runs outside the lock in single-flight-per-k style: concurrent
-// requests for the same k share one selection run, and requests for
-// different budgets proceed in parallel (the seed-selection Problem is
-// read-only during Select, and the estimator publishes the retrained seed
+// Selection runs outside the lock in single-flight-per-key style: concurrent
+// requests for the same (k, version) share one selection run, and requests
+// for different keys proceed in parallel (the seed-selection Problem is
+// read-only during Select, and the model publishes the retrained seed
 // model atomically).
-func (s *Server) seedsFor(k int) ([]roadnet.RoadID, error) {
+func (s *Server) seedsFor(m *core.Model, k int) ([]roadnet.RoadID, error) {
+	key := seedKey{k: k, version: m.Version()}
 	s.mu.Lock()
-	if seeds, ok := s.seedCache[k]; ok {
+	if seeds, ok := s.seedCache[key]; ok {
 		s.mu.Unlock()
 		seedCacheHits.Inc()
 		return seeds, nil
 	}
-	if c, ok := s.seedInflight[k]; ok {
+	if c, ok := s.seedInflight[key]; ok {
 		s.mu.Unlock()
 		seedSingleflightWaits.Inc()
 		<-c.done
 		return c.seeds, c.err
 	}
 	c := &seedCall{done: make(chan struct{})}
-	s.seedInflight[k] = c
+	s.seedInflight[key] = c
 	s.mu.Unlock()
 
 	seedCacheMisses.Inc()
-	c.seeds, c.err = s.est.SelectSeeds(k)
+	c.seeds, c.err = s.store.SelectSeedsOn(m, k)
 	close(c.done)
 
 	s.mu.Lock()
-	delete(s.seedInflight, k)
+	delete(s.seedInflight, key)
 	if c.err == nil {
 		if len(s.seedCacheOrder) >= seedCacheMax {
 			oldest := s.seedCacheOrder[0]
@@ -359,12 +415,34 @@ func (s *Server) seedsFor(k int) ([]roadnet.RoadID, error) {
 			delete(s.seedCache, oldest)
 			seedCacheEvictions.Inc()
 		}
-		s.seedCache[k] = c.seeds
-		s.seedCacheOrder = append(s.seedCacheOrder, k)
+		s.seedCache[key] = c.seeds
+		s.seedCacheOrder = append(s.seedCacheOrder, key)
 		seedCacheSize.Set(float64(len(s.seedCache)))
 	}
 	s.mu.Unlock()
 	return c.seeds, c.err
+}
+
+// dropStaleSeeds removes cached seed sets whose model version is not
+// current. Runs from the store's swap hook, so the cache never retains
+// selections for models no request can resolve anymore. In-flight
+// selections are left alone: their waiters hold the old *Model and get a
+// correctly-labelled result, and the completed entry is keyed by the old
+// version, where no future lookup will find it (it ages out by FIFO).
+func (s *Server) dropStaleSeeds(current uint64) {
+	s.mu.Lock()
+	kept := s.seedCacheOrder[:0]
+	for _, key := range s.seedCacheOrder {
+		if key.version == current {
+			kept = append(kept, key)
+			continue
+		}
+		delete(s.seedCache, key)
+		seedCacheInvalidations.Inc()
+	}
+	s.seedCacheOrder = kept
+	seedCacheSize.Set(float64(len(s.seedCache)))
+	s.mu.Unlock()
 }
 
 // Seed-cache observability.
@@ -379,6 +457,8 @@ var (
 		"Seed-set cache entries currently held.")
 	seedSingleflightWaits = obs.Default().Counter("trendspeed_api_seed_singleflight_waits_total",
 		"Requests that waited on an in-flight seed selection for the same k instead of re-running it.")
+	seedCacheInvalidations = obs.Default().Counter("trendspeed_api_seed_cache_invalidations_total",
+		"Seed-set cache entries dropped because a model rebuild superseded their version.")
 )
 
 // roadResponse describes one road.
@@ -392,13 +472,14 @@ type roadResponse struct {
 }
 
 func (s *Server) handleRoad(w http.ResponseWriter, r *http.Request) {
+	m := s.store.Model()
 	idStr := strings.TrimSpace(r.PathValue("id"))
 	id, err := strconv.Atoi(idStr)
-	if err != nil || id < 0 || id >= s.est.Net().NumRoads() {
+	if err != nil || id < 0 || id >= m.Net().NumRoads() {
 		writeErr(w, http.StatusNotFound, "unknown road %q", idStr)
 		return
 	}
-	road := s.est.Net().Road(roadnet.RoadID(id))
+	road := m.Net().Road(roadnet.RoadID(id))
 	resp := roadResponse{
 		ID:      road.ID,
 		Class:   road.Class.String(),
@@ -411,9 +492,9 @@ func (s *Server) handleRoad(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "slot must be an integer")
 			return
 		}
-		if mean, ok := s.est.DB().Mean(road.ID, slot); ok {
+		if mean, ok := m.DB().Mean(road.ID, slot); ok {
 			resp.HistoricalMean = &mean
-			p := s.est.DB().PUp(road.ID, slot)
+			p := m.DB().PUp(road.ID, slot)
 			resp.TrendPriorUp = &p
 		}
 	}
@@ -433,9 +514,10 @@ type seedReport struct {
 
 // estimateResponse returns the full network estimate.
 type estimateResponse struct {
-	Slot   int            `json:"slot"`
-	Roads  []roadEstimate `json:"roads"`
-	Seeded int            `json:"seeded"`
+	Slot         int            `json:"slot"`
+	Roads        []roadEstimate `json:"roads"`
+	Seeded       int            `json:"seeded"`
+	ModelVersion uint64         `json:"model_version"`
 }
 
 type roadEstimate struct {
@@ -451,7 +533,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	out := estimateResponse{Slot: res.Slot, Seeded: res.seeded}
+	out := estimateResponse{Slot: res.Slot, Seeded: res.seeded, ModelVersion: res.ModelVersion}
 	out.Roads = make([]roadEstimate, len(res.Speeds))
 	for i := range res.Speeds {
 		out.Roads[i] = roadEstimate{
@@ -495,12 +577,67 @@ func (s *Server) runEstimate(w http.ResponseWriter, r *http.Request) (estimateRe
 		}
 		seedSpeeds[rep.Road] = rep.Speed
 	}
-	res, err := s.est.Estimate(req.Slot, seedSpeeds)
+	// Store.Estimate resolves the published model with one atomic load, so
+	// the whole round — and the model_version it reports — is coherent even
+	// when a rebuild swaps mid-request.
+	res, err := s.store.Estimate(req.Slot, seedSpeeds)
 	if err != nil {
 		writeErr(w, estimateStatus(err), "estimation failed: %v", err)
 		return estimateResult{}, false
 	}
 	return estimateResult{Estimate: res, seeded: len(seedSpeeds)}, true
+}
+
+// observationsRequest is a batch of crowd observations for ingestion.
+type observationsRequest struct {
+	Observations []observationReport `json:"observations"`
+}
+
+type observationReport struct {
+	Road  roadnet.RoadID `json:"road"`
+	Slot  int            `json:"slot"`
+	Speed float64        `json:"speed_mps"`
+}
+
+// observationsResponse acknowledges an accepted batch.
+type observationsResponse struct {
+	Accepted     int    `json:"accepted"`
+	Buffered     int    `json:"buffered"`
+	ModelVersion uint64 `json:"model_version"`
+}
+
+// handleObservations ingests crowd observations into the store's rebuild
+// buffer. The batch is validated as a unit — one bad report rejects the
+// whole POST with 400 and buffers nothing — and an accepted batch answers
+// 202: the data is durable in the buffer but only folds into the published
+// model at the next rebuild (whose trigger the response's buffered count
+// lets the client reason about).
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	var req observationsRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeErr(w, http.StatusBadRequest, "at least one observation is required")
+		return
+	}
+	batch := make([]core.Observation, len(req.Observations))
+	for i, o := range req.Observations {
+		batch[i] = core.Observation{Road: o.Road, Slot: o.Slot, Speed: o.Speed}
+	}
+	buffered, err := s.store.Ingest(batch...)
+	if err != nil {
+		writeErr(w, estimateStatus(err), "ingesting observations: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, observationsResponse{
+		Accepted:     len(batch),
+		Buffered:     buffered,
+		ModelVersion: s.store.Model().Version(),
+	})
 }
 
 // estimateStatus classifies an Estimate error: bad request input is the
@@ -532,6 +669,6 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, render.SpeedMap(s.est.Net(), res.Rels, width))
+	_, _ = io.WriteString(w, render.SpeedMap(s.store.Model().Net(), res.Rels, width))
 	_, _ = io.WriteString(w, render.Legend()+"\n")
 }

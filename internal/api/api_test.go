@@ -17,13 +17,15 @@ import (
 )
 
 var (
-	fixtureOnce sync.Once
-	fixtureDS   *dataset.Dataset
-	fixtureEst  *core.Estimator
+	fixtureOnce  sync.Once
+	fixtureDS    *dataset.Dataset
+	fixtureStore *core.Store
 )
 
-// fixtures builds one small trained estimator for all API tests.
-func fixtures(t *testing.T) (*dataset.Dataset, *core.Estimator) {
+// fixtures builds one small trained model store shared by the read-only API
+// tests. Tests that ingest or rebuild must use freshStore instead: the
+// shared store's version would drift under them.
+func fixtures(t *testing.T) (*dataset.Dataset, *core.Store) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		cfg := dataset.DefaultConfig()
@@ -33,19 +35,37 @@ func fixtures(t *testing.T) (*dataset.Dataset, *core.Estimator) {
 		if err != nil {
 			panic(err)
 		}
-		est, err := core.New(d.Net, d.DB, core.DefaultOptions())
+		st, err := core.NewStore(d.Net, d.DB, core.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}
-		fixtureDS, fixtureEst = d, est
+		fixtureDS, fixtureStore = d, st
 	})
-	return fixtureDS, fixtureEst
+	return fixtureDS, fixtureStore
+}
+
+// freshStore builds a private store for tests that mutate model state
+// (ingest, rebuild) so they cannot interfere with the shared fixture.
+func freshStore(t *testing.T) (*dataset.Dataset, *core.Store) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.Net.BlocksX, cfg.Net.BlocksY = 5, 4
+	cfg.HistoryDays = 4
+	d, err := dataset.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewStore(d.Net, d.DB, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, st
 }
 
 func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset) {
 	t.Helper()
-	d, est := fixtures(t)
-	srv, err := NewServer(est)
+	d, st := fixtures(t)
+	srv, err := NewServer(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +91,7 @@ func getJSON(t *testing.T, url string, out any) int {
 
 func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(nil); err == nil {
-		t.Error("nil estimator accepted")
+		t.Error("nil store accepted")
 	}
 }
 
@@ -98,6 +118,26 @@ func TestInfo(t *testing.T) {
 	if body.SlotMinutes != 10 {
 		t.Errorf("slot minutes = %v", body.SlotMinutes)
 	}
+	if body.ModelVersion < 1 {
+		t.Errorf("model version = %d", body.ModelVersion)
+	}
+}
+
+func TestModelEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body modelResponse
+	if code := getJSON(t, ts.URL+"/v1/model", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.Version < 1 {
+		t.Errorf("version = %d", body.Version)
+	}
+	if body.Observations <= 0 {
+		t.Errorf("observations = %d", body.Observations)
+	}
+	if body.BuiltAt == "" || body.StalenessSeconds < 0 {
+		t.Errorf("build metadata = %+v", body)
+	}
 }
 
 func TestSeeds(t *testing.T) {
@@ -109,6 +149,9 @@ func TestSeeds(t *testing.T) {
 	}
 	if len(body.Seeds) != k || body.Benefit <= 0 {
 		t.Errorf("seeds = %d, benefit = %v", len(body.Seeds), body.Benefit)
+	}
+	if body.ModelVersion < 1 {
+		t.Errorf("seeds model version = %d", body.ModelVersion)
 	}
 	// Missing and invalid k are rejected.
 	if code := getJSON(t, ts.URL+"/v1/seeds", nil); code != http.StatusBadRequest {
@@ -183,6 +226,9 @@ func TestEstimate(t *testing.T) {
 	}
 	if body.Seeded != len(reports) {
 		t.Errorf("seeded = %d", body.Seeded)
+	}
+	if body.ModelVersion < 1 {
+		t.Errorf("estimate model version = %d", body.ModelVersion)
 	}
 	for _, re := range body.Roads {
 		if re.SpeedMPS < 0 || re.SpeedMPS > 45 || re.PUp < 0 || re.PUp > 1 {

@@ -74,11 +74,12 @@ func TestConcurrentSeedsAndEstimate(t *testing.T) {
 // TestSeedSingleflight: concurrent requests for the same budget share one
 // selection run instead of re-running it behind the lock.
 func TestSeedSingleflight(t *testing.T) {
-	_, est := fixtures(t)
-	srv, err := NewServer(est)
+	_, st := fixtures(t)
+	srv, err := NewServer(st)
 	if err != nil {
 		t.Fatal(err)
 	}
+	m := st.Model()
 	missesBefore := seedCacheMisses.Value()
 	const k = 5
 	var wg sync.WaitGroup
@@ -87,7 +88,7 @@ func TestSeedSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			seeds, err := srv.seedsFor(k)
+			seeds, err := srv.seedsFor(m, k)
 			if err != nil {
 				t.Errorf("seedsFor: %v", err)
 				return

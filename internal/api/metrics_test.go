@@ -118,13 +118,14 @@ func TestSeedCacheBounded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs seed selection seedCacheMax+2 times")
 	}
-	_, est := fixtures(t)
-	srv, err := NewServer(est)
+	_, st := fixtures(t)
+	srv, err := NewServer(st)
 	if err != nil {
 		t.Fatal(err)
 	}
+	m := st.Model()
 	for k := 1; k <= seedCacheMax+2; k++ {
-		if _, err := srv.seedsFor(k); err != nil {
+		if _, err := srv.seedsFor(m, k); err != nil {
 			t.Fatalf("seedsFor(%d): %v", k, err)
 		}
 	}
@@ -135,21 +136,22 @@ func TestSeedCacheBounded(t *testing.T) {
 			len(srv.seedCache), len(srv.seedCacheOrder), seedCacheMax)
 	}
 	// The two oldest budgets were evicted, the newest survive.
+	v := m.Version()
 	for _, evicted := range []int{1, 2} {
-		if _, ok := srv.seedCache[evicted]; ok {
+		if _, ok := srv.seedCache[seedKey{k: evicted, version: v}]; ok {
 			t.Errorf("k=%d should have been evicted", evicted)
 		}
 	}
 	for _, kept := range []int{3, seedCacheMax + 2} {
-		if _, ok := srv.seedCache[kept]; !ok {
+		if _, ok := srv.seedCache[seedKey{k: kept, version: v}]; !ok {
 			t.Errorf("k=%d should still be cached", kept)
 		}
 	}
 }
 
 func TestMetricsDisabled(t *testing.T) {
-	_, est := fixtures(t)
-	srv, err := NewServerWith(est, Config{})
+	_, st := fixtures(t)
+	srv, err := NewServerWith(st, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,8 +184,8 @@ func (r *recorder) Write(b []byte) (int, error) {
 }
 
 func TestDebugEndpoints(t *testing.T) {
-	_, est := fixtures(t)
-	srv, err := NewServerWith(est, Config{Metrics: true, Debug: true})
+	_, st := fixtures(t)
+	srv, err := NewServerWith(st, Config{Metrics: true, Debug: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,28 +1,29 @@
 // Package core assembles the paper's complete system, called TrendSpeed in
-// this reproduction: given a road network and a historical speed database it
+// this reproduction, as a versioned model lifecycle:
 //
-//  1. builds the trend-correlation graph (internal/corr),
-//  2. trains the hierarchical linear model (internal/hlm),
-//  3. prepares the seed-selection problem (internal/seedsel),
+//   - Model (model.go) is one immutable training artifact: given a road
+//     network and a historical speed database, New builds the
+//     trend-correlation graph (internal/corr), trains the hierarchical
+//     linear model (internal/hlm), prepares the seed-selection problem
+//     (internal/seedsel) and the trend topology (internal/mrf), stamping
+//     the result with a version and build metadata.
+//   - Store (store.go) is the thin serving handle: it publishes the current
+//     Model through an atomic pointer, buffers crowd observations via
+//     Ingest, and rebuilds + hot-swaps successor model versions in the
+//     background without ever blocking an estimation round.
 //
-// and then serves the real-time loop: SelectSeeds(K) → crowdsource the
-// seeds' speeds → Estimate(slot, seedSpeeds) → network-wide speeds, where
-// Estimate runs the two-step trend→speed inference (internal/mrf +
-// internal/hlm).
+// The real-time loop is SelectSeeds(K) → crowdsource the seeds' speeds →
+// Estimate(slot, seedSpeeds) → network-wide speeds, where Estimate runs the
+// two-step trend→speed inference (internal/mrf + internal/hlm). Every round
+// resolves exactly one model version at entry and reports it in its result.
 package core
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math"
-	"sort"
-	"sync/atomic"
 
 	"repro/internal/corr"
-	"repro/internal/crowd"
-	"repro/internal/geo"
-	"repro/internal/history"
 	"repro/internal/hlm"
 	"repro/internal/mrf"
 	"repro/internal/obs"
@@ -66,7 +67,7 @@ func timePhase(ctx context.Context, phase string, fn func() error) error {
 	return err
 }
 
-// Options configures estimator construction. The zero value is NOT valid;
+// Options configures model construction. The zero value is NOT valid;
 // start from DefaultOptions.
 type Options struct {
 	Corr    corr.Config
@@ -109,132 +110,11 @@ func DefaultOptions() Options {
 	}
 }
 
-// ErrInvalidInput marks estimation failures caused by the caller's request
-// (out-of-range seed roads, non-finite or non-positive speeds) rather than
-// by the inference machinery. API layers use errors.Is against it to answer
-// 4xx instead of 5xx.
+// ErrInvalidInput marks estimation and ingestion failures caused by the
+// caller's request (out-of-range roads, non-finite or non-positive speeds)
+// rather than by the inference machinery. API layers use errors.Is against
+// it to answer 4xx instead of 5xx.
 var ErrInvalidInput = errors.New("invalid input")
-
-// Estimator is the trained system. Everything built by New (graph, HLM,
-// seed-selection problem, trend topology) is immutable, so Estimate calls
-// may run concurrently with each other. The one mutable piece of state — the
-// seed-conditional model retrained by Prepare/SelectSeeds — is published as
-// an immutable snapshot through an atomic pointer: Prepare builds the new
-// model off to the side and swaps it in, and every estimation round loads
-// exactly one snapshot at entry and uses only that. Estimate may therefore
-// also run concurrently with Prepare/SelectSeeds; a round in flight during a
-// swap simply finishes on the snapshot it started with. The remaining caveat
-// is caller-configured engines with internal randomness (e.g. Gibbs), which
-// are only as safe as the engine itself.
-type Estimator struct {
-	net   *roadnet.Network
-	db    *history.DB
-	graph *corr.Graph
-	model *hlm.Model
-
-	problem        *seedsel.Problem
-	selector       seedsel.Selector
-	engine         mrf.Engine
-	seedTrendNoise float64
-	preTrendNoise  float64
-	trendTemper    float64
-
-	// trendTopo is the BP message-passing structure of the correlation
-	// graph, built once here so per-round trend models skip the O(E·deg)
-	// rebuild.
-	trendTopo *mrf.Topology
-
-	// seedModel is the snapshot of the model specialised to the last
-	// Prepare'd seed set; nil until Prepare (or SelectSeeds) runs. Rounds
-	// load it once at entry (see estimateWith).
-	seedModel atomic.Pointer[hlm.SeedModel]
-	special   hlm.SpecializeConfig
-}
-
-// New builds the correlation graph, trains the HLM and prepares seed
-// selection. This is the expensive offline phase; Estimate calls are cheap.
-func New(net *roadnet.Network, db *history.DB, opts Options) (*Estimator, error) {
-	if net == nil || db == nil {
-		return nil, fmt.Errorf("core: network and history are required")
-	}
-	if net.NumRoads() != db.NumRoads() {
-		return nil, fmt.Errorf("core: network has %d roads, history covers %d", net.NumRoads(), db.NumRoads())
-	}
-	ctx, buildSpan := obs.StartSpan(context.Background(), "core.new")
-	defer buildSpan.End()
-	var graph *corr.Graph
-	if err := timeStage(ctx, "corr_build", func() (err error) {
-		graph, err = corr.Build(net, db, opts.Corr)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("core: building correlation graph: %w", err)
-	}
-	// The HLM's pooled levels: road class (same-class roads co-move
-	// city-wide), local area (congestion is spatially smooth) and the whole
-	// city (global demand swings).
-	hlmCfg := opts.HLM
-	if hlmCfg.Levels == nil {
-		hlmCfg.Levels = poolingLevels(net)
-	}
-	var model *hlm.Model
-	if err := timeStage(ctx, "hlm_train", func() (err error) {
-		model, err = hlm.Train(graph, db, hlmCfg)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("core: training HLM: %w", err)
-	}
-	var problem *seedsel.Problem
-	if err := timeStage(ctx, "seedsel_prepare", func() (err error) {
-		problem, err = seedsel.NewProblem(graph, seedsel.BenefitWeights(net, db), opts.SeedSel)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("core: preparing seed selection: %w", err)
-	}
-	var trendTopo *mrf.Topology
-	if err := timeStage(ctx, "trend_topology", func() (err error) {
-		trendTopo, err = mrf.NewTopology(graph)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("core: building trend topology: %w", err)
-	}
-	engine := opts.Engine
-	if engine == nil {
-		bp, err := mrf.NewBP(opts.BP)
-		if err != nil {
-			return nil, fmt.Errorf("core: building BP engine: %w", err)
-		}
-		engine = bp
-	}
-	selector := opts.Selector
-	if selector == nil {
-		selector = seedsel.Lazy{}
-	}
-	noise := opts.SeedTrendNoise
-	if noise == 0 {
-		noise = 0.08
-	}
-	preNoise := opts.PreTrendNoise
-	if preNoise == 0 {
-		preNoise = 0.12
-	}
-	temper := opts.TrendTemper
-	if temper == 0 {
-		temper = 0.2
-	}
-	if temper < 0 || temper > 1 {
-		return nil, fmt.Errorf("core: TrendTemper must be in (0, 1], got %v", temper)
-	}
-	special := opts.Specialize
-	if special == (hlm.SpecializeConfig{}) {
-		special = hlm.DefaultSpecializeConfig()
-	}
-	return &Estimator{
-		net: net, db: db, graph: graph, model: model,
-		problem: problem, selector: selector, engine: engine,
-		seedTrendNoise: noise, preTrendNoise: preNoise, trendTemper: temper,
-		trendTopo: trendTopo, special: special,
-	}, nil
-}
 
 // combineOdds multiplies two probabilities' odds (naive-Bayes combination of
 // roughly independent evidence), keeping the result in (0, 1).
@@ -293,332 +173,6 @@ func poolingLevels(net *roadnet.Network) [][]int {
 		class[r] = int(net.Road(roadnet.RoadID(r)).Class)
 	}
 	return levels
-}
-
-// Net returns the road network.
-func (e *Estimator) Net() *roadnet.Network { return e.net }
-
-// DB returns the historical database.
-func (e *Estimator) DB() *history.DB { return e.db }
-
-// Graph returns the correlation graph.
-func (e *Estimator) Graph() *corr.Graph { return e.graph }
-
-// Model returns the trained HLM.
-func (e *Estimator) Model() *hlm.Model { return e.model }
-
-// Problem returns the prepared seed-selection instance.
-func (e *Estimator) Problem() *seedsel.Problem { return e.problem }
-
-// SelectSeeds chooses k seed roads with the configured selector and
-// prepares the seed-conditional inference model for them.
-func (e *Estimator) SelectSeeds(k int) ([]roadnet.RoadID, error) {
-	seeds, err := e.selector.Select(e.problem, k)
-	if err != nil {
-		return nil, err
-	}
-	if err := e.Prepare(seeds); err != nil {
-		return nil, err
-	}
-	return seeds, nil
-}
-
-// Prepare trains the seed-conditional regressions for a fixed seed set (the
-// online deployment step after seed selection). Estimate calls made before
-// Prepare — or with a seed set disjoint from the prepared one — use the
-// generic propagation model.
-//
-// Prepare is safe to call while Estimate rounds are in flight: the new
-// model is trained entirely off to the side and published atomically; rounds
-// already running keep the snapshot they loaded at entry. Concurrent Prepare
-// calls are individually safe and last-write-wins, matching the "model of
-// the last Prepare'd seed set" contract.
-func (e *Estimator) Prepare(seeds []roadnet.RoadID) error {
-	for _, s := range seeds {
-		if int(s) < 0 || int(s) >= e.net.NumRoads() {
-			return fmt.Errorf("core: seed road %d out of range [0,%d): %w", s, e.net.NumRoads(), ErrInvalidInput)
-		}
-	}
-	var sm *hlm.SeedModel
-	if err := timeStage(context.Background(), "seed_specialize", func() (err error) {
-		sm, err = e.model.Specialize(e.db, seeds, e.seedCandidates(seeds), e.special)
-		return err
-	}); err != nil {
-		return fmt.Errorf("core: specialising to seed set: %w", err)
-	}
-	e.seedModel.Store(sm)
-	return nil
-}
-
-// seedCandidates returns a provider of correlation-scoring candidates for
-// Specialize: the spatially nearest seeds plus the nearest seeds of the
-// road's own class (same-class roads co-move even when far apart).
-func (e *Estimator) seedCandidates(seeds []roadnet.RoadID) func(roadnet.RoadID) []roadnet.RoadID {
-	type seedPos struct {
-		id    roadnet.RoadID
-		pos   geo.Point
-		class roadnet.RoadClass
-	}
-	positions := make([]seedPos, len(seeds))
-	for i, s := range seeds {
-		road := e.net.Road(s)
-		positions[i] = seedPos{id: s, pos: road.Geometry.At(road.Length() / 2), class: road.Class}
-	}
-	return func(r roadnet.RoadID) []roadnet.RoadID {
-		road := e.net.Road(r)
-		mid := road.Geometry.At(road.Length() / 2)
-		type cand struct {
-			id   roadnet.RoadID
-			dist float64
-		}
-		var all, same []cand
-		for _, sp := range positions {
-			c := cand{id: sp.id, dist: mid.Dist(sp.pos)}
-			all = append(all, c)
-			if sp.class == road.Class {
-				same = append(same, c)
-			}
-		}
-		byDist := func(cs []cand) {
-			sort.Slice(cs, func(i, j int) bool {
-				if cs[i].dist != cs[j].dist {
-					return cs[i].dist < cs[j].dist
-				}
-				return cs[i].id < cs[j].id
-			})
-		}
-		byDist(all)
-		byDist(same)
-		seen := map[roadnet.RoadID]bool{}
-		var out []roadnet.RoadID
-		take := func(cs []cand, n int) {
-			for i := 0; i < len(cs) && i < n; i++ {
-				if !seen[cs[i].id] {
-					seen[cs[i].id] = true
-					out = append(out, cs[i].id)
-				}
-			}
-		}
-		take(all, 8)
-		take(same, 6)
-		return out
-	}
-}
-
-// SeedBenefit evaluates the benefit function on a seed set (diagnostics and
-// experiments).
-func (e *Estimator) SeedBenefit(seeds []roadnet.RoadID) float64 {
-	return e.problem.Benefit(seeds)
-}
-
-// Estimate is the result of one estimation round.
-type Estimate struct {
-	// Slot the estimate is for.
-	Slot int
-	// Speeds holds per-road speed estimates in m/s; 0 means the road has no
-	// history and cannot be estimated.
-	Speeds []float64
-	// Rels holds the relative-speed estimates behind Speeds.
-	Rels []float64
-	// TrendUp holds the inferred trend per road.
-	TrendUp []bool
-	// PUp holds the trend marginals from the graphical model.
-	PUp []float64
-}
-
-// EstimateOptions tweak a single estimation round (ablations).
-type EstimateOptions struct {
-	// FlatHLM disables the hierarchical schedule (ablation A2).
-	FlatHLM bool
-	// TrendFree disables the trend step entirely: no graphical model, and
-	// every regression uses its trend-agnostic variant (ablation A1 — the
-	// paper's core "from trends to speeds" claim is the gap this opens).
-	TrendFree bool
-	// NoSeedModel disables the seed-conditional regressions, leaving only
-	// the generic propagation model (ablation A2: the value of the
-	// hierarchy's seed level).
-	NoSeedModel bool
-	// Engine overrides the trend engine for this call only.
-	Engine mrf.Engine
-}
-
-// Estimate runs the two-step inference for one slot given crowdsourced seed
-// speeds (absolute, m/s). Seeds with no historical mean are ignored — their
-// relative speed is undefined.
-func (e *Estimator) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
-	return e.EstimateWith(slot, seedSpeeds, EstimateOptions{})
-}
-
-// EstimateWith is Estimate with per-call overrides.
-func (e *Estimator) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
-	ctx, roundSpan := obs.StartSpan(context.Background(), "core.estimate")
-	out, err := e.estimateWith(ctx, slot, seedSpeeds, opts)
-	estimateSeconds("total").Observe(roundSpan.End().Seconds())
-	if err == nil {
-		estimateRounds.Inc()
-	}
-	return out, err
-}
-
-// estimateWith is the uninstrumented round body; ctx carries the round span
-// so the per-phase spans nest under it. The seed-model snapshot is loaded
-// exactly once here and threaded through both regression passes, so a
-// concurrent Prepare cannot hand one round two different models.
-func (e *Estimator) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
-	n := e.net.NumRoads()
-	seedModel := e.seedModel.Load()
-	seedRels := make(map[roadnet.RoadID]float64, len(seedSpeeds))
-	for road, speed := range seedSpeeds {
-		if int(road) < 0 || int(road) >= n {
-			return nil, fmt.Errorf("core: seed road %d out of range: %w", road, ErrInvalidInput)
-		}
-		// Non-finite speeds must be rejected here: a single +Inf seed would
-		// otherwise poison Rels/Speeds network-wide through the regressions.
-		if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
-			return nil, fmt.Errorf("core: invalid seed speed %v on road %d: %w", speed, road, ErrInvalidInput)
-		}
-		mean, ok := e.db.Mean(road, slot)
-		if !ok || mean <= 0 {
-			continue
-		}
-		seedRels[road] = speed / mean
-	}
-
-	if opts.TrendFree {
-		var rels []float64
-		if err := timePhase(ctx, "speed", func() (err error) {
-			rels, err = e.estimateRels(&hlm.Request{
-				Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, n),
-				TrendFree: true, Flat: opts.FlatHLM,
-			}, seedModel, opts.NoSeedModel)
-			return err
-		}); err != nil {
-			return nil, fmt.Errorf("core: trend-free inference: %w", err)
-		}
-		pUp := make([]float64, n)
-		trendUp := make([]bool, n)
-		for r := 0; r < n; r++ {
-			pUp[r] = 0.5
-			trendUp[r] = rels[r] >= 1
-		}
-		return &Estimate{
-			Slot: slot, Speeds: hlm.SpeedsOf(e.db, slot, rels), Rels: rels,
-			TrendUp: trendUp, PUp: pUp,
-		}, nil
-	}
-
-	// Step 0: a trend-free magnitude pre-pass. Its relative-speed estimates
-	// carry trend information no binary propagation can recover (a road
-	// estimated at 0.8× its mean is almost surely trending down), so they
-	// become the node priors of the graphical model.
-	preTrend := make([]bool, n) // ignored in trend-free mode
-	var preRels []float64
-	if err := timePhase(ctx, "pre_pass", func() (err error) {
-		preRels, err = e.estimateRels(&hlm.Request{
-			Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
-		}, seedModel, opts.NoSeedModel)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("core: magnitude pre-pass: %w", err)
-	}
-
-	// Step 1: trend inference over the MRF. Node priors carry only *local*
-	// evidence — the historical trend prior, and for seed roads the soft
-	// probability that the trend is up given the noisy crowd observation
-	// (never a hard clamp: a report at 1.01× the mean must not drag its
-	// whole neighbourhood to "up"). The spatially-correlated pre-pass
-	// evidence is fused after inference; feeding it into the node priors
-	// would make BP double-count it around every loop.
-	priors := make([]float64, n)
-	for r := 0; r < n; r++ {
-		priors[r] = e.db.PUp(roadnet.RoadID(r), slot)
-	}
-	for road, rel := range seedRels {
-		priors[road] = trendEvidence(rel, e.seedTrendNoise)
-	}
-	var trends *mrf.Result
-	if err := timePhase(ctx, "trend", func() error {
-		model, err := mrf.NewModelWithTopology(e.trendTopo, priors)
-		if err != nil {
-			return fmt.Errorf("building trend model: %w", err)
-		}
-		if err := model.SetEdgeTemper(e.trendTemper); err != nil {
-			return fmt.Errorf("tempering trend model: %w", err)
-		}
-		engine := opts.Engine
-		if engine == nil {
-			engine = e.engine
-		}
-		trends, err = engine.Infer(model, nil)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("core: trend inference: %w", err)
-	}
-	// Fuse the graphical posterior with the magnitude evidence in log-odds
-	// space: the two views — binary propagation and calibrated magnitude
-	// interpolation — fail in different places.
-	pUp := make([]float64, n)
-	trendUp := make([]bool, n)
-	for r := 0; r < n; r++ {
-		pUp[r] = combineOdds(trends.PUp[r], trendEvidence(preRels[r], e.preTrendNoise))
-		trendUp[r] = pUp[r] >= 0.5
-	}
-	for road, rel := range seedRels {
-		p := trendEvidence(rel, e.seedTrendNoise)
-		pUp[road] = p
-		trendUp[road] = p >= 0.5
-	}
-
-	// Step 2: trend-conditioned hierarchical regression.
-	var rels []float64
-	if err := timePhase(ctx, "speed", func() (err error) {
-		rels, err = e.estimateRels(&hlm.Request{
-			Slot:     slot,
-			SeedRels: seedRels,
-			TrendUp:  trendUp,
-			PUp:      pUp,
-			Flat:     opts.FlatHLM,
-		}, seedModel, opts.NoSeedModel)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("core: speed inference: %w", err)
-	}
-	return &Estimate{
-		Slot:    slot,
-		Speeds:  hlm.SpeedsOf(e.db, slot, rels),
-		Rels:    rels,
-		TrendUp: trendUp,
-		PUp:     pUp,
-	}, nil
-}
-
-// estimateRels routes an HLM request through the given seed-conditional
-// snapshot when the request's seeds overlap it; otherwise the generic
-// propagation model runs. The snapshot is the one the round loaded at entry,
-// never re-read, so both regression passes of a round agree on the model.
-func (e *Estimator) estimateRels(req *hlm.Request, seedModel *hlm.SeedModel, noSeedModel bool) ([]float64, error) {
-	if seedModel != nil && !noSeedModel {
-		overlap := 0
-		for r := range req.SeedRels {
-			if seedModel.SeedSet(r) {
-				overlap++
-			}
-		}
-		if overlap*2 >= len(req.SeedRels) && overlap > 0 {
-			return seedModel.Estimate(req)
-		}
-	}
-	return e.model.Estimate(req)
-}
-
-// EstimateFromCrowd converts raw crowd reports into the seed-speed map and
-// runs Estimate; the convenience used by the real-time loop.
-func (e *Estimator) EstimateFromCrowd(slot int, reports []crowd.Report) (*Estimate, error) {
-	seeds := make(map[roadnet.RoadID]float64, len(reports))
-	for _, r := range reports {
-		seeds[r.Road] = r.Speed
-	}
-	return e.Estimate(slot, seeds)
 }
 
 // ExportPoolingLevels exposes the default pooling construction for

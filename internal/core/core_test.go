@@ -12,7 +12,7 @@ import (
 	"repro/internal/roadnet"
 )
 
-func buildEstimator(t *testing.T) (*dataset.Dataset, *Estimator) {
+func buildEstimator(t *testing.T) (*dataset.Dataset, *Model) {
 	t.Helper()
 	cfg := dataset.DefaultConfig()
 	cfg.Net.BlocksX, cfg.Net.BlocksY = 8, 7
@@ -49,8 +49,17 @@ func TestAccessors(t *testing.T) {
 	if est.Net() != d.Net || est.DB() != d.DB {
 		t.Error("accessors wrong")
 	}
-	if est.Graph() == nil || est.Model() == nil || est.Problem() == nil {
+	if est.Graph() == nil || est.HLM() == nil || est.Problem() == nil {
 		t.Error("nil components")
+	}
+	if est.Version() != 1 {
+		t.Errorf("standalone model version = %d, want 1", est.Version())
+	}
+	if est.ObservationCount() != d.DB.ObservationCount() {
+		t.Errorf("observation count = %d, want %d", est.ObservationCount(), d.DB.ObservationCount())
+	}
+	if est.BuiltAt().IsZero() {
+		t.Error("BuiltAt is zero")
 	}
 }
 
@@ -80,7 +89,7 @@ func TestSelectSeeds(t *testing.T) {
 // randomSelector picks k pseudo-random distinct roads for comparison.
 type randomSelector struct{ seed int64 }
 
-func (rs randomSelector) selectIDs(e *Estimator, k int) ([]roadnet.RoadID, error) {
+func (rs randomSelector) selectIDs(e *Model, k int) ([]roadnet.RoadID, error) {
 	n := e.Net().NumRoads()
 	out := make([]roadnet.RoadID, 0, k)
 	step := n/k + 1

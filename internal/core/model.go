@@ -1,0 +1,508 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corr"
+	"repro/internal/crowd"
+	"repro/internal/geo"
+	"repro/internal/history"
+	"repro/internal/hlm"
+	"repro/internal/mrf"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+	"repro/internal/seedsel"
+)
+
+// Model is one immutable, versioned training artifact: the correlation
+// graph, the hierarchical linear model, the seed-selection problem and the
+// trend topology, all derived from the history snapshot the model was
+// trained on, stamped with a monotonically increasing version and build
+// metadata. Everything built by New is immutable, so Estimate calls may run
+// concurrently with each other — and with a Store swapping in a successor
+// model, since a round in flight keeps the *Model it resolved at entry.
+//
+// The one piece of mutable state is the seed-conditional specialization
+// retrained by Prepare/SelectSeeds. It is published as an immutable snapshot
+// through an atomic pointer: Prepare builds the new specialization off to
+// the side and swaps it in, and every estimation round loads exactly one
+// snapshot at entry and uses only that. The remaining caveat is
+// caller-configured engines with internal randomness (e.g. Gibbs), which
+// are only as safe as the engine itself.
+type Model struct {
+	version  uint64
+	builtAt  time.Time
+	buildDur time.Duration
+	obsCount int
+
+	net   *roadnet.Network
+	db    *history.DB
+	graph *corr.Graph
+	hlm   *hlm.Model
+
+	problem        *seedsel.Problem
+	selector       seedsel.Selector
+	engine         mrf.Engine
+	seedTrendNoise float64
+	preTrendNoise  float64
+	trendTemper    float64
+
+	// trendTopo is the BP message-passing structure of the correlation
+	// graph, built once here so per-round trend models skip the O(E·deg)
+	// rebuild.
+	trendTopo *mrf.Topology
+
+	// seedModel is the snapshot of the model specialised to the last
+	// Prepare'd seed set; nil until Prepare (or SelectSeeds) runs. Rounds
+	// load it once at entry (see estimateWith).
+	seedModel atomic.Pointer[hlm.SeedModel]
+	special   hlm.SpecializeConfig
+}
+
+// New builds the correlation graph, trains the HLM and prepares seed
+// selection, returning a version-1 model. This is the expensive offline
+// phase; Estimate calls are cheap. Deployments that want to keep the model
+// fresh wrap it in a Store (NewStore), which rebuilds successor versions
+// from ingested observations and hot-swaps them.
+func New(net *roadnet.Network, db *history.DB, opts Options) (*Model, error) {
+	return build(net, db, opts, 1)
+}
+
+// build is New with an explicit version stamp; the Store uses it to mint
+// successor models.
+func build(net *roadnet.Network, db *history.DB, opts Options, version uint64) (*Model, error) {
+	if net == nil || db == nil {
+		return nil, fmt.Errorf("core: network and history are required")
+	}
+	if net.NumRoads() != db.NumRoads() {
+		return nil, fmt.Errorf("core: network has %d roads, history covers %d", net.NumRoads(), db.NumRoads())
+	}
+	start := time.Now()
+	ctx, buildSpan := obs.StartSpan(context.Background(), "core.new")
+	defer buildSpan.End()
+	var graph *corr.Graph
+	if err := timeStage(ctx, "corr_build", func() (err error) {
+		graph, err = corr.Build(net, db, opts.Corr)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: building correlation graph: %w", err)
+	}
+	// The HLM's pooled levels: road class (same-class roads co-move
+	// city-wide), local area (congestion is spatially smooth) and the whole
+	// city (global demand swings).
+	hlmCfg := opts.HLM
+	if hlmCfg.Levels == nil {
+		hlmCfg.Levels = poolingLevels(net)
+	}
+	var model *hlm.Model
+	if err := timeStage(ctx, "hlm_train", func() (err error) {
+		model, err = hlm.Train(graph, db, hlmCfg)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: training HLM: %w", err)
+	}
+	var problem *seedsel.Problem
+	if err := timeStage(ctx, "seedsel_prepare", func() (err error) {
+		problem, err = seedsel.NewProblem(graph, seedsel.BenefitWeights(net, db), opts.SeedSel)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: preparing seed selection: %w", err)
+	}
+	var trendTopo *mrf.Topology
+	if err := timeStage(ctx, "trend_topology", func() (err error) {
+		trendTopo, err = mrf.NewTopology(graph)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: building trend topology: %w", err)
+	}
+	engine := opts.Engine
+	if engine == nil {
+		bp, err := mrf.NewBP(opts.BP)
+		if err != nil {
+			return nil, fmt.Errorf("core: building BP engine: %w", err)
+		}
+		engine = bp
+	}
+	selector := opts.Selector
+	if selector == nil {
+		selector = seedsel.Lazy{}
+	}
+	noise := opts.SeedTrendNoise
+	if noise == 0 {
+		noise = 0.08
+	}
+	preNoise := opts.PreTrendNoise
+	if preNoise == 0 {
+		preNoise = 0.12
+	}
+	temper := opts.TrendTemper
+	if temper == 0 {
+		temper = 0.2
+	}
+	if temper < 0 || temper > 1 {
+		return nil, fmt.Errorf("core: TrendTemper must be in (0, 1], got %v", temper)
+	}
+	special := opts.Specialize
+	if special == (hlm.SpecializeConfig{}) {
+		special = hlm.DefaultSpecializeConfig()
+	}
+	return &Model{
+		version: version, builtAt: start, buildDur: time.Since(start),
+		obsCount: db.ObservationCount(),
+		net:      net, db: db, graph: graph, hlm: model,
+		problem: problem, selector: selector, engine: engine,
+		seedTrendNoise: noise, preTrendNoise: preNoise, trendTemper: temper,
+		trendTopo: trendTopo, special: special,
+	}, nil
+}
+
+// Version returns the model's monotonically increasing version stamp.
+// Standalone models built by New are version 1; a Store mints successors.
+func (m *Model) Version() uint64 { return m.version }
+
+// BuiltAt returns the wall-clock time training started.
+func (m *Model) BuiltAt() time.Time { return m.builtAt }
+
+// BuildDuration returns how long the offline build took.
+func (m *Model) BuildDuration() time.Duration { return m.buildDur }
+
+// ObservationCount returns the number of slot-level history samples the
+// model was trained on.
+func (m *Model) ObservationCount() int { return m.obsCount }
+
+// Net returns the road network.
+func (m *Model) Net() *roadnet.Network { return m.net }
+
+// DB returns the historical database snapshot the model was trained on.
+func (m *Model) DB() *history.DB { return m.db }
+
+// Graph returns the correlation graph.
+func (m *Model) Graph() *corr.Graph { return m.graph }
+
+// HLM returns the trained hierarchical linear model.
+func (m *Model) HLM() *hlm.Model { return m.hlm }
+
+// Problem returns the prepared seed-selection instance.
+func (m *Model) Problem() *seedsel.Problem { return m.problem }
+
+// SelectSeeds chooses k seed roads with the configured selector and
+// prepares the seed-conditional inference model for them.
+func (m *Model) SelectSeeds(k int) ([]roadnet.RoadID, error) {
+	seeds, err := m.selector.Select(m.problem, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Prepare(seeds); err != nil {
+		return nil, err
+	}
+	return seeds, nil
+}
+
+// Prepare trains the seed-conditional regressions for a fixed seed set (the
+// online deployment step after seed selection). Estimate calls made before
+// Prepare — or with a seed set disjoint from the prepared one — use the
+// generic propagation model.
+//
+// Prepare is safe to call while Estimate rounds are in flight: the new
+// specialization is trained entirely off to the side and published
+// atomically; rounds already running keep the snapshot they loaded at entry.
+// Concurrent Prepare calls are individually safe and last-write-wins,
+// matching the "model of the last Prepare'd seed set" contract.
+func (m *Model) Prepare(seeds []roadnet.RoadID) error {
+	for _, s := range seeds {
+		if int(s) < 0 || int(s) >= m.net.NumRoads() {
+			return fmt.Errorf("core: seed road %d out of range [0,%d): %w", s, m.net.NumRoads(), ErrInvalidInput)
+		}
+	}
+	var sm *hlm.SeedModel
+	if err := timeStage(context.Background(), "seed_specialize", func() (err error) {
+		sm, err = m.hlm.Specialize(m.db, seeds, m.seedCandidates(seeds), m.special)
+		return err
+	}); err != nil {
+		return fmt.Errorf("core: specialising to seed set: %w", err)
+	}
+	m.seedModel.Store(sm)
+	return nil
+}
+
+// seedCandidates returns a provider of correlation-scoring candidates for
+// Specialize: the spatially nearest seeds plus the nearest seeds of the
+// road's own class (same-class roads co-move even when far apart).
+func (m *Model) seedCandidates(seeds []roadnet.RoadID) func(roadnet.RoadID) []roadnet.RoadID {
+	type seedPos struct {
+		id    roadnet.RoadID
+		pos   geo.Point
+		class roadnet.RoadClass
+	}
+	positions := make([]seedPos, len(seeds))
+	for i, s := range seeds {
+		road := m.net.Road(s)
+		positions[i] = seedPos{id: s, pos: road.Geometry.At(road.Length() / 2), class: road.Class}
+	}
+	return func(r roadnet.RoadID) []roadnet.RoadID {
+		road := m.net.Road(r)
+		mid := road.Geometry.At(road.Length() / 2)
+		type cand struct {
+			id   roadnet.RoadID
+			dist float64
+		}
+		var all, same []cand
+		for _, sp := range positions {
+			c := cand{id: sp.id, dist: mid.Dist(sp.pos)}
+			all = append(all, c)
+			if sp.class == road.Class {
+				same = append(same, c)
+			}
+		}
+		byDist := func(cs []cand) {
+			sort.Slice(cs, func(i, j int) bool {
+				if cs[i].dist != cs[j].dist {
+					return cs[i].dist < cs[j].dist
+				}
+				return cs[i].id < cs[j].id
+			})
+		}
+		byDist(all)
+		byDist(same)
+		seen := map[roadnet.RoadID]bool{}
+		var out []roadnet.RoadID
+		take := func(cs []cand, n int) {
+			for i := 0; i < len(cs) && i < n; i++ {
+				if !seen[cs[i].id] {
+					seen[cs[i].id] = true
+					out = append(out, cs[i].id)
+				}
+			}
+		}
+		take(all, 8)
+		take(same, 6)
+		return out
+	}
+}
+
+// SeedBenefit evaluates the benefit function on a seed set (diagnostics and
+// experiments).
+func (m *Model) SeedBenefit(seeds []roadnet.RoadID) float64 {
+	return m.problem.Benefit(seeds)
+}
+
+// Estimate is the result of one estimation round.
+type Estimate struct {
+	// Slot the estimate is for.
+	Slot int
+	// ModelVersion is the version of the exact model the round resolved at
+	// entry and ran on; under a Store it identifies which published model
+	// produced the estimate.
+	ModelVersion uint64
+	// Speeds holds per-road speed estimates in m/s; 0 means the road has no
+	// history and cannot be estimated.
+	Speeds []float64
+	// Rels holds the relative-speed estimates behind Speeds.
+	Rels []float64
+	// TrendUp holds the inferred trend per road.
+	TrendUp []bool
+	// PUp holds the trend marginals from the graphical model.
+	PUp []float64
+}
+
+// EstimateOptions tweak a single estimation round (ablations).
+type EstimateOptions struct {
+	// FlatHLM disables the hierarchical schedule (ablation A2).
+	FlatHLM bool
+	// TrendFree disables the trend step entirely: no graphical model, and
+	// every regression uses its trend-agnostic variant (ablation A1 — the
+	// paper's core "from trends to speeds" claim is the gap this opens).
+	TrendFree bool
+	// NoSeedModel disables the seed-conditional regressions, leaving only
+	// the generic propagation model (ablation A2: the value of the
+	// hierarchy's seed level).
+	NoSeedModel bool
+	// Engine overrides the trend engine for this call only.
+	Engine mrf.Engine
+}
+
+// Estimate runs the two-step inference for one slot given crowdsourced seed
+// speeds (absolute, m/s). Seeds with no historical mean are ignored — their
+// relative speed is undefined.
+func (m *Model) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
+	return m.EstimateWith(slot, seedSpeeds, EstimateOptions{})
+}
+
+// EstimateWith is Estimate with per-call overrides.
+func (m *Model) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
+	ctx, roundSpan := obs.StartSpan(context.Background(), "core.estimate")
+	out, err := m.estimateWith(ctx, slot, seedSpeeds, opts)
+	estimateSeconds("total").Observe(roundSpan.End().Seconds())
+	if err == nil {
+		estimateRounds.Inc()
+	}
+	return out, err
+}
+
+// estimateWith is the uninstrumented round body; ctx carries the round span
+// so the per-phase spans nest under it. The seed-model snapshot is loaded
+// exactly once here and threaded through both regression passes, so a
+// concurrent Prepare cannot hand one round two different models.
+func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
+	n := m.net.NumRoads()
+	seedModel := m.seedModel.Load()
+	seedRels := make(map[roadnet.RoadID]float64, len(seedSpeeds))
+	for road, speed := range seedSpeeds {
+		if int(road) < 0 || int(road) >= n {
+			return nil, fmt.Errorf("core: seed road %d out of range: %w", road, ErrInvalidInput)
+		}
+		// Non-finite speeds must be rejected here: a single +Inf seed would
+		// otherwise poison Rels/Speeds network-wide through the regressions.
+		if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+			return nil, fmt.Errorf("core: invalid seed speed %v on road %d: %w", speed, road, ErrInvalidInput)
+		}
+		mean, ok := m.db.Mean(road, slot)
+		if !ok || mean <= 0 {
+			continue
+		}
+		seedRels[road] = speed / mean
+	}
+
+	if opts.TrendFree {
+		var rels []float64
+		if err := timePhase(ctx, "speed", func() (err error) {
+			rels, err = m.estimateRels(&hlm.Request{
+				Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, n),
+				TrendFree: true, Flat: opts.FlatHLM,
+			}, seedModel, opts.NoSeedModel)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("core: trend-free inference: %w", err)
+		}
+		pUp := make([]float64, n)
+		trendUp := make([]bool, n)
+		for r := 0; r < n; r++ {
+			pUp[r] = 0.5
+			trendUp[r] = rels[r] >= 1
+		}
+		return &Estimate{
+			Slot: slot, ModelVersion: m.version,
+			Speeds: hlm.SpeedsOf(m.db, slot, rels), Rels: rels,
+			TrendUp: trendUp, PUp: pUp,
+		}, nil
+	}
+
+	// Step 0: a trend-free magnitude pre-pass. Its relative-speed estimates
+	// carry trend information no binary propagation can recover (a road
+	// estimated at 0.8× its mean is almost surely trending down), so they
+	// become the node priors of the graphical model.
+	preTrend := make([]bool, n) // ignored in trend-free mode
+	var preRels []float64
+	if err := timePhase(ctx, "pre_pass", func() (err error) {
+		preRels, err = m.estimateRels(&hlm.Request{
+			Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
+		}, seedModel, opts.NoSeedModel)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: magnitude pre-pass: %w", err)
+	}
+
+	// Step 1: trend inference over the MRF. Node priors carry only *local*
+	// evidence — the historical trend prior, and for seed roads the soft
+	// probability that the trend is up given the noisy crowd observation
+	// (never a hard clamp: a report at 1.01× the mean must not drag its
+	// whole neighbourhood to "up"). The spatially-correlated pre-pass
+	// evidence is fused after inference; feeding it into the node priors
+	// would make BP double-count it around every loop.
+	priors := make([]float64, n)
+	for r := 0; r < n; r++ {
+		priors[r] = m.db.PUp(roadnet.RoadID(r), slot)
+	}
+	for road, rel := range seedRels {
+		priors[road] = trendEvidence(rel, m.seedTrendNoise)
+	}
+	var trends *mrf.Result
+	if err := timePhase(ctx, "trend", func() error {
+		model, err := mrf.NewModelWithTopology(m.trendTopo, priors)
+		if err != nil {
+			return fmt.Errorf("building trend model: %w", err)
+		}
+		if err := model.SetEdgeTemper(m.trendTemper); err != nil {
+			return fmt.Errorf("tempering trend model: %w", err)
+		}
+		engine := opts.Engine
+		if engine == nil {
+			engine = m.engine
+		}
+		trends, err = engine.Infer(model, nil)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: trend inference: %w", err)
+	}
+	// Fuse the graphical posterior with the magnitude evidence in log-odds
+	// space: the two views — binary propagation and calibrated magnitude
+	// interpolation — fail in different places.
+	pUp := make([]float64, n)
+	trendUp := make([]bool, n)
+	for r := 0; r < n; r++ {
+		pUp[r] = combineOdds(trends.PUp[r], trendEvidence(preRels[r], m.preTrendNoise))
+		trendUp[r] = pUp[r] >= 0.5
+	}
+	for road, rel := range seedRels {
+		p := trendEvidence(rel, m.seedTrendNoise)
+		pUp[road] = p
+		trendUp[road] = p >= 0.5
+	}
+
+	// Step 2: trend-conditioned hierarchical regression.
+	var rels []float64
+	if err := timePhase(ctx, "speed", func() (err error) {
+		rels, err = m.estimateRels(&hlm.Request{
+			Slot:     slot,
+			SeedRels: seedRels,
+			TrendUp:  trendUp,
+			PUp:      pUp,
+			Flat:     opts.FlatHLM,
+		}, seedModel, opts.NoSeedModel)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: speed inference: %w", err)
+	}
+	return &Estimate{
+		Slot:         slot,
+		ModelVersion: m.version,
+		Speeds:       hlm.SpeedsOf(m.db, slot, rels),
+		Rels:         rels,
+		TrendUp:      trendUp,
+		PUp:          pUp,
+	}, nil
+}
+
+// estimateRels routes an HLM request through the given seed-conditional
+// snapshot when the request's seeds overlap it; otherwise the generic
+// propagation model runs. The snapshot is the one the round loaded at entry,
+// never re-read, so both regression passes of a round agree on the model.
+func (m *Model) estimateRels(req *hlm.Request, seedModel *hlm.SeedModel, noSeedModel bool) ([]float64, error) {
+	if seedModel != nil && !noSeedModel {
+		overlap := 0
+		for r := range req.SeedRels {
+			if seedModel.SeedSet(r) {
+				overlap++
+			}
+		}
+		if overlap*2 >= len(req.SeedRels) && overlap > 0 {
+			return seedModel.Estimate(req)
+		}
+	}
+	return m.hlm.Estimate(req)
+}
+
+// EstimateFromCrowd converts raw crowd reports into the seed-speed map and
+// runs Estimate; the convenience used by the real-time loop.
+func (m *Model) EstimateFromCrowd(slot int, reports []crowd.Report) (*Estimate, error) {
+	seeds := make(map[roadnet.RoadID]float64, len(reports))
+	for _, r := range reports {
+		seeds[r.Road] = r.Speed
+	}
+	return m.Estimate(slot, seeds)
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crowd"
+	"repro/internal/history"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+)
+
+// Model-lifecycle observability: which version is serving, how often and how
+// long rebuilds run, and how much ingested data is waiting to be folded in.
+var (
+	modelVersionGauge = obs.Default().Gauge("trendspeed_model_version",
+		"Version of the model currently published by the store.")
+	modelRebuilds = func(outcome string) *obs.Counter {
+		return obs.Default().Counter("trendspeed_model_rebuilds_total",
+			"Model rebuilds by outcome (success publishes a new version; error keeps the old model and the buffered observations).",
+			"outcome", outcome)
+	}
+	rebuildSeconds = obs.Default().Histogram("trendspeed_model_rebuild_duration_seconds",
+		"Wall time of one model rebuild: history roll-forward, retrain, seed re-specialization and swap.",
+		obs.DefBuckets)
+	ingestBuffered = obs.Default().Gauge("trendspeed_ingest_buffered_observations",
+		"Observations ingested but not yet folded into a published model.")
+)
+
+// Observation is one crowd-sourced speed report to fold into the historical
+// database at the next rebuild: the road, the absolute slot the speed was
+// observed in, and the absolute speed in m/s.
+type Observation struct {
+	Road  roadnet.RoadID
+	Slot  int
+	Speed float64 // m/s
+}
+
+// StoreConfig tunes the background rebuild loop started by Store.Start.
+// Both triggers may be combined; a rebuild only runs when at least one
+// observation is buffered.
+type StoreConfig struct {
+	// RebuildEvery rebuilds on a timer; 0 disables the timer trigger.
+	RebuildEvery time.Duration
+	// RebuildMinObs rebuilds as soon as this many observations are
+	// buffered; 0 disables the count trigger.
+	RebuildMinObs int
+}
+
+// Store is the serving handle over a sequence of immutable model versions.
+// It publishes the current Model through an atomic pointer, so Estimate,
+// SelectSeeds and Model never block on a rebuild in progress: every call
+// resolves exactly one version at entry and runs entirely on it, and a
+// rebuild trains the successor off to the side (on the same internal/par
+// worker pool the round hot path uses) before swapping it in
+// last-write-wins.
+//
+// Ingest buffers observations; Rebuild (or the background loop started by
+// Start) rolls them into the history snapshot via history.NewBuilderFrom,
+// retrains, re-specializes the last prepared seed set so rounds do not
+// regress to the generic propagation model after a swap, and publishes the
+// new version. All methods are safe for concurrent use.
+type Store struct {
+	opts    Options
+	cur     atomic.Pointer[Model]
+	version atomic.Uint64 // last version stamp handed out
+
+	// mu guards the ingest buffer, the last prepared seed set, the swap
+	// hooks and the loop bookkeeping; it is never held across a rebuild.
+	mu        sync.Mutex
+	buf       []Observation
+	lastSeeds []roadnet.RoadID
+	onSwap    []func(old, new *Model)
+	cfg       StoreConfig
+	started   bool
+	closed    bool
+
+	// rebuildMu serializes rebuilds: concurrent Rebuild calls queue, and
+	// Close drains an in-flight one by acquiring it.
+	rebuildMu sync.Mutex
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewStore trains the version-1 model and returns a store publishing it.
+func NewStore(net *roadnet.Network, db *history.DB, opts Options) (*Store, error) {
+	m, err := build(net, db, opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts: opts,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.version.Store(m.Version())
+	s.cur.Store(m)
+	modelVersionGauge.Set(float64(m.Version()))
+	return s, nil
+}
+
+// Model returns the currently published model. Callers that make several
+// dependent calls (e.g. select seeds, then report the version they were
+// selected against) should resolve the model once and use it throughout.
+func (s *Store) Model() *Model { return s.cur.Load() }
+
+// Estimate runs one estimation round on the currently published model.
+func (s *Store) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
+	return s.cur.Load().Estimate(slot, seedSpeeds)
+}
+
+// EstimateWith is Estimate with per-call overrides.
+func (s *Store) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
+	return s.cur.Load().EstimateWith(slot, seedSpeeds, opts)
+}
+
+// EstimateFromCrowd runs one estimation round from raw crowd reports on the
+// currently published model.
+func (s *Store) EstimateFromCrowd(slot int, reports []crowd.Report) (*Estimate, error) {
+	return s.cur.Load().EstimateFromCrowd(slot, reports)
+}
+
+// SelectSeeds selects k seeds on the currently published model and records
+// the set so rebuilds re-specialize it on successor models.
+func (s *Store) SelectSeeds(k int) ([]roadnet.RoadID, error) {
+	return s.SelectSeedsOn(s.cur.Load(), k)
+}
+
+// SelectSeedsOn is SelectSeeds against an explicitly resolved model; API
+// layers use it so the seed set and the version they cache it under come
+// from the same model even if a swap lands mid-request.
+func (s *Store) SelectSeedsOn(m *Model, k int) ([]roadnet.RoadID, error) {
+	seeds, err := m.SelectSeeds(k)
+	if err != nil {
+		return nil, err
+	}
+	s.rememberSeeds(seeds)
+	return seeds, nil
+}
+
+// Prepare trains the seed-conditional model for an explicit seed set on the
+// currently published model and records the set for rebuilds.
+func (s *Store) Prepare(seeds []roadnet.RoadID) error {
+	if err := s.cur.Load().Prepare(seeds); err != nil {
+		return err
+	}
+	s.rememberSeeds(seeds)
+	return nil
+}
+
+func (s *Store) rememberSeeds(seeds []roadnet.RoadID) {
+	cp := append([]roadnet.RoadID(nil), seeds...)
+	s.mu.Lock()
+	s.lastSeeds = cp
+	s.mu.Unlock()
+}
+
+// Ingest validates and buffers observations for the next rebuild. The whole
+// batch is rejected on the first invalid observation (the error matches
+// ErrInvalidInput, so HTTP layers answer 400). It returns the number of
+// observations buffered after the append and never blocks on a rebuild.
+func (s *Store) Ingest(observations ...Observation) (int, error) {
+	n := s.cur.Load().net.NumRoads()
+	for _, o := range observations {
+		if int(o.Road) < 0 || int(o.Road) >= n {
+			return 0, fmt.Errorf("core: observation road %d out of range [0,%d): %w", o.Road, n, ErrInvalidInput)
+		}
+		if o.Slot < 0 || o.Slot > math.MaxInt32 {
+			return 0, fmt.Errorf("core: observation slot %d out of range: %w", o.Slot, ErrInvalidInput)
+		}
+		if o.Speed <= 0 || math.IsNaN(o.Speed) || math.IsInf(o.Speed, 0) {
+			return 0, fmt.Errorf("core: invalid observation speed %v on road %d: %w", o.Speed, o.Road, ErrInvalidInput)
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("core: store is closed")
+	}
+	s.buf = append(s.buf, observations...)
+	buffered := len(s.buf)
+	minObs := s.cfg.RebuildMinObs
+	s.mu.Unlock()
+	ingestBuffered.Set(float64(buffered))
+	if minObs > 0 && buffered >= minObs {
+		select {
+		case s.kick <- struct{}{}:
+		default: // a rebuild request is already pending
+		}
+	}
+	return buffered, nil
+}
+
+// BufferedObservations returns how many ingested observations await the
+// next rebuild.
+func (s *Store) BufferedObservations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// OnSwap registers a hook called after each successful rebuild with the
+// model that was replaced and the one now published (caches keyed by model
+// version use it to drop stale entries). Hooks run on the rebuilding
+// goroutine and must not block.
+func (s *Store) OnSwap(fn func(old, new *Model)) {
+	s.mu.Lock()
+	s.onSwap = append(s.onSwap, fn)
+	s.mu.Unlock()
+}
+
+// Rebuild retrains immediately: it drains the buffered observations into a
+// roll-forward of the current history snapshot, builds the successor model
+// off to the side, re-specializes the last prepared seed set, and swaps the
+// new version in last-write-wins. Estimation rounds in flight keep the
+// model they resolved at entry; new rounds see the new version as soon as
+// the swap lands. On error the old model stays published and the buffered
+// observations are kept for the next attempt.
+func (s *Store) Rebuild() (*Model, error) {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	start := time.Now()
+	m, err := s.rebuild()
+	if err != nil {
+		modelRebuilds("error").Inc()
+		return nil, err
+	}
+	rebuildSeconds.Observe(time.Since(start).Seconds())
+	modelRebuilds("success").Inc()
+	return m, nil
+}
+
+func (s *Store) rebuild() (*Model, error) {
+	s.mu.Lock()
+	pending := append([]Observation(nil), s.buf...)
+	seeds := s.lastSeeds
+	s.mu.Unlock()
+
+	old := s.cur.Load()
+	builder, err := history.NewBuilderFrom(old.DB())
+	if err != nil {
+		return nil, fmt.Errorf("core: rolling history forward: %w", err)
+	}
+	for _, o := range pending {
+		// Validated at Ingest; a failure here means the builder and store
+		// disagree on validity and must abort the rebuild, not skip data.
+		if err := builder.Add(o.Road, o.Slot, o.Speed); err != nil {
+			return nil, fmt.Errorf("core: folding in observation: %w", err)
+		}
+	}
+	db := builder.Finalize()
+	m, err := build(old.Net(), db, s.opts, s.version.Add(1))
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding model: %w", err)
+	}
+	if len(seeds) > 0 {
+		if err := m.Prepare(seeds); err != nil {
+			return nil, fmt.Errorf("core: re-specializing seed set: %w", err)
+		}
+	}
+
+	// Publish, drop the consumed prefix of the buffer (Ingest only appends,
+	// so the first len(pending) entries are exactly what we folded in) and
+	// snapshot the hooks to run outside the lock.
+	s.mu.Lock()
+	s.buf = s.buf[len(pending):]
+	buffered := len(s.buf)
+	hooks := append([]func(old, new *Model){}, s.onSwap...)
+	s.mu.Unlock()
+	s.cur.Store(m)
+	modelVersionGauge.Set(float64(m.Version()))
+	ingestBuffered.Set(float64(buffered))
+	for _, h := range hooks {
+		h(old, m)
+	}
+	return m, nil
+}
+
+// Start launches the background rebuild loop with the given triggers. It is
+// a no-op when both triggers are disabled or the loop is already running;
+// the first effective call wins and later configs are ignored (except that
+// RebuildMinObs keeps gating Ingest's kick signal).
+func (s *Store) Start(cfg StoreConfig) {
+	s.mu.Lock()
+	if s.closed || s.started || (cfg.RebuildEvery <= 0 && cfg.RebuildMinObs <= 0) {
+		s.mu.Unlock()
+		return
+	}
+	s.cfg = cfg
+	s.started = true
+	s.mu.Unlock()
+	go s.loop(cfg)
+}
+
+func (s *Store) loop(cfg StoreConfig) {
+	defer close(s.done)
+	var tick <-chan time.Time
+	if cfg.RebuildEvery > 0 {
+		t := time.NewTicker(cfg.RebuildEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick:
+		case <-s.kick:
+		}
+		if s.BufferedObservations() == 0 {
+			continue
+		}
+		// Errors keep the old model serving and the observations buffered;
+		// the rebuilds_total{outcome="error"} counter is the alert signal.
+		_, _ = s.Rebuild()
+	}
+}
+
+// Close stops the background loop and drains an in-flight rebuild (whether
+// loop-triggered or a concurrent Rebuild call), so shutdown never kills a
+// retrain halfway through a swap. Ingest fails after Close; the published
+// model remains usable. Close is idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		started := s.started
+		s.mu.Unlock()
+		if started {
+			<-s.done
+		}
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		close(s.stop)
+		<-s.done
+	}
+	// Wait out any rebuild still running (e.g. one started by a direct
+	// Rebuild call racing shutdown).
+	s.rebuildMu.Lock()
+	//lint:ignore SA2001 acquiring and releasing is the drain: Rebuild holds
+	// this mutex for the whole retrain, so the Lock above blocks until any
+	// in-flight rebuild has finished its swap.
+	s.rebuildMu.Unlock()
+}

@@ -11,14 +11,26 @@
 package history
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/gps"
+	"repro/internal/par"
 	"repro/internal/roadnet"
 	"repro/internal/timeslot"
 )
+
+// ErrInvalidObservation marks Add/AddObservations failures caused by the
+// observation itself — an out-of-range road, a slot that does not fit the
+// database's encoding, or a non-finite/non-positive speed. Callers use
+// errors.Is against it (mirroring core.ErrInvalidInput one layer up) to
+// separate bad crowd reports from internal failures; without the explicit
+// rejection a single NaN report would poison the profile means and stds
+// every downstream estimate is computed from.
+var ErrInvalidObservation = errors.New("invalid observation")
 
 // Sample is one historical data point for a road: the mean observed speed in
 // an absolute slot, expressed relative to the road's historical mean for
@@ -138,10 +150,15 @@ func (db *DB) CoObserved(u, v roadnet.RoadID, fn func(slot int32, relU, relV flo
 	}
 }
 
-// Builder accumulates observations and produces a DB.
+// Builder accumulates observations and produces a DB. Add and
+// AddObservations are safe for concurrent use, so a server can fold in
+// crowd reports from many request goroutines; Finalize must not run
+// concurrently with further Adds.
 type Builder struct {
 	cal      *timeslot.Calendar
 	numRoads int
+
+	mu sync.Mutex
 	// agg[road] maps absolute slot → (speed sum, count).
 	agg []map[int32]sumCount
 }
@@ -160,15 +177,20 @@ func NewBuilder(cal *timeslot.Calendar, numRoads int) (*Builder, error) {
 	return b, nil
 }
 
-// Add records one speed observation. Negative or non-finite speeds and
-// out-of-range road IDs are rejected.
+// Add records one speed observation. Out-of-range road IDs, slots that do
+// not fit the database encoding, and non-positive or non-finite speeds are
+// rejected with an error matching ErrInvalidObservation.
 func (b *Builder) Add(road roadnet.RoadID, slot int, speed float64) error {
 	if int(road) < 0 || int(road) >= b.numRoads {
-		return fmt.Errorf("history: road %d out of range [0,%d)", road, b.numRoads)
+		return fmt.Errorf("history: road %d out of range [0,%d): %w", road, b.numRoads, ErrInvalidObservation)
+	}
+	if slot < 0 || slot > math.MaxInt32 {
+		return fmt.Errorf("history: slot %d outside [0, 2^31): %w", slot, ErrInvalidObservation)
 	}
 	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
-		return fmt.Errorf("history: invalid speed %v for road %d", speed, road)
+		return fmt.Errorf("history: invalid speed %v for road %d: %w", speed, road, ErrInvalidObservation)
 	}
+	b.mu.Lock()
 	if b.agg[road] == nil {
 		b.agg[road] = make(map[int32]sumCount)
 	}
@@ -176,6 +198,7 @@ func (b *Builder) Add(road roadnet.RoadID, slot int, speed float64) error {
 	sc.sum += speed
 	sc.n++
 	b.agg[road][int32(slot)] = sc
+	b.mu.Unlock()
 	return nil
 }
 
@@ -191,8 +214,11 @@ func (b *Builder) AddObservations(obs []gps.Observation) error {
 }
 
 // Finalize computes profiles and relative-speed series and returns the
-// immutable DB. The Builder must not be used afterwards.
+// immutable DB. The Builder must not be used afterwards, and no Add may
+// still be in flight when Finalize runs.
 func (b *Builder) Finalize() *DB {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	spw := b.cal.NumProfileClasses()
 	db := &DB{
 		cal:      b.cal,
@@ -277,32 +303,50 @@ func (b *Builder) Finalize() *DB {
 
 // NewBuilderFrom reconstructs a Builder from an existing database so new
 // observations can be appended and the database re-finalised — the rolling
-// update a continuously running deployment performs at the end of each day.
+// update a continuously running deployment performs on every model rebuild.
 // The reconstruction recovers each stored slot-level sample as one
 // observation at its recorded mean speed, so profiles recomputed over the
 // union of old and new data match a from-scratch build over the combined
 // observations (slot-level means are preserved exactly; per-slot observation
 // counts inside a slot are not, and are not used by any consumer).
+//
+// Each road's aggregate is rebuilt independently, so the reconstruction
+// fans out on the internal/par worker pool: rebuilds run concurrently with
+// a serving estimator, and this keeps the offline side of a hot swap short.
 func NewBuilderFrom(db *DB) (*Builder, error) {
 	b, err := NewBuilder(db.cal, db.numRoads)
 	if err != nil {
 		return nil, err
 	}
-	for road := 0; road < db.numRoads; road++ {
-		id := roadnet.RoadID(road)
-		for _, s := range db.series[road] {
-			mean, ok := db.Mean(id, int(s.Slot))
-			if !ok || mean <= 0 {
+	// Writes go straight into disjoint b.agg[road] slots (the par contract),
+	// bypassing Add's lock and re-validation: every recovered speed is
+	// derived from data a previous Finalize already accepted.
+	par.For(db.numRoads, 0, func(start, end int) {
+		for road := start; road < end; road++ {
+			series := db.series[road]
+			if len(series) == 0 {
 				continue
 			}
-			speed := float64(s.Rel) * mean
-			if speed <= 0 {
-				continue
+			id := roadnet.RoadID(road)
+			agg := make(map[int32]sumCount, len(series))
+			for _, s := range series {
+				mean, ok := db.Mean(id, int(s.Slot))
+				if !ok || mean <= 0 {
+					continue
+				}
+				speed := float64(s.Rel) * mean
+				if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+					continue
+				}
+				sc := agg[s.Slot]
+				sc.sum += speed
+				sc.n++
+				agg[s.Slot] = sc
 			}
-			if err := b.Add(id, int(s.Slot), speed); err != nil {
-				return nil, err
+			if len(agg) > 0 {
+				b.agg[road] = agg
 			}
 		}
-	}
+	})
 	return b, nil
 }

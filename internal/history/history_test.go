@@ -2,8 +2,10 @@ package history
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -392,5 +394,93 @@ func TestNewBuilderFromEmptyDB(t *testing.T) {
 	// Road 1 never observed stays unobserved.
 	if _, ok := got.Mean(1, 0); ok {
 		t.Error("phantom observations appeared")
+	}
+}
+
+// TestBuilderValidationSentinel: every rejection must match the
+// ErrInvalidObservation sentinel so callers (and, one layer up, the API's
+// 400-vs-500 split) can classify it with errors.Is.
+func TestBuilderValidationSentinel(t *testing.T) {
+	b, err := NewBuilder(cal(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		road  roadnet.RoadID
+		slot  int
+		speed float64
+	}{
+		{"road out of range", 5, 0, 10},
+		{"negative road", -1, 0, 10},
+		{"negative slot", 0, -1, 10},
+		{"slot beyond int32", 0, math.MaxInt32 + 1, 10},
+		{"zero speed", 0, 0, 0},
+		{"negative speed", 0, 0, -4},
+		{"NaN speed", 0, 0, math.NaN()},
+		{"+Inf speed", 0, 0, math.Inf(1)},
+		{"-Inf speed", 0, 0, math.Inf(-1)},
+	}
+	for _, tc := range cases {
+		err := b.Add(tc.road, tc.slot, tc.speed)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidObservation) {
+			t.Errorf("%s: error %v is not ErrInvalidObservation", tc.name, err)
+		}
+	}
+	// Nothing leaked into the aggregates.
+	if got := b.Finalize().ObservationCount(); got != 0 {
+		t.Errorf("%d observations stored from rejected adds", got)
+	}
+}
+
+// TestBuilderConcurrentAdd races many goroutines into one builder (run with
+// -race) and checks the final database matches a serial build: the server's
+// ingestion path folds crowd reports in from concurrent request handlers.
+func TestBuilderConcurrentAdd(t *testing.T) {
+	c := cal(t)
+	const roads, perG, workers = 6, 200, 8
+	conc, _ := NewBuilder(c, roads)
+	serial, _ := NewBuilder(c, roads)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				road := roadnet.RoadID((g + i) % roads)
+				slot := (g*perG + i) % 500
+				if err := conc.Add(road, slot, 5+float64(i%20)); err != nil {
+					t.Errorf("concurrent Add: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < workers; g++ {
+		for i := 0; i < perG; i++ {
+			road := roadnet.RoadID((g + i) % roads)
+			slot := (g*perG + i) % 500
+			if err := serial.Add(road, slot, 5+float64(i%20)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, want := conc.Finalize(), serial.Finalize()
+	if got.ObservationCount() != want.ObservationCount() {
+		t.Fatalf("observation counts differ: %d vs %d", got.ObservationCount(), want.ObservationCount())
+	}
+	for r := 0; r < roads; r++ {
+		for slot := 0; slot < 500; slot += 11 {
+			mg, okG := got.Mean(roadnet.RoadID(r), slot)
+			mw, okW := want.Mean(roadnet.RoadID(r), slot)
+			if okG != okW || math.Abs(mg-mw) > 1e-9 {
+				t.Fatalf("road %d slot %d: mean %v/%v vs %v/%v", r, slot, mg, okG, mw, okW)
+			}
+		}
 	}
 }

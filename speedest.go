@@ -5,10 +5,20 @@
 // The package re-exports the high-level API from the internal packages so a
 // downstream user needs a single import:
 //
-//	est, err := speedest.New(net, db, speedest.DefaultOptions())
-//	seeds, err := est.SelectSeeds(k)           // budget-K seed selection
+//	st, err := speedest.NewStore(net, db, speedest.DefaultOptions())
+//	seeds, err := st.SelectSeeds(k)            // budget-K seed selection
 //	reports := askYourCrowd(seeds)             // crowdsource seed speeds
-//	res, err := est.Estimate(slot, reports)    // network-wide speeds
+//	res, err := st.Estimate(slot, reports)     // network-wide speeds
+//
+// A Store publishes an immutable, versioned Model and can fold new crowd
+// observations into a rebuilt successor without interrupting estimation:
+//
+//	st.Ingest(speedest.Observation{Road: 12, Slot: slot, Speed: 8.5})
+//	st.Start(speedest.StoreConfig{RebuildMinObs: 1000}) // background rebuilds
+//	defer st.Close()
+//
+// For a frozen, single-version deployment, New returns the bare Model and
+// skips the lifecycle machinery entirely.
 //
 // Use BuildDataset (or the GPS pipeline in internal/gps via cmd/datagen) to
 // create synthetic benchmark datasets; see examples/ for runnable
@@ -24,11 +34,27 @@ import (
 	"repro/internal/timeslot"
 )
 
-// Estimator is the trained end-to-end system: correlation graph, trend
-// model, hierarchical linear model and seed selection.
-type Estimator = core.Estimator
+// Model is the trained end-to-end system, built as one immutable artifact:
+// correlation graph, trend model, hierarchical linear model and seed
+// selection, stamped with a monotonic version.
+type Model = core.Model
 
-// Options configures estimator construction; start from DefaultOptions.
+// Estimator is the pre-lifecycle name for Model.
+//
+// Deprecated: use Model (or a Store, which manages versioned Models).
+type Estimator = core.Model
+
+// Store publishes the current Model and rebuilds successors from ingested
+// observations without blocking estimation.
+type Store = core.Store
+
+// StoreConfig arms a Store's background rebuild triggers.
+type StoreConfig = core.StoreConfig
+
+// Observation is one crowd speed report ingested for a future rebuild.
+type Observation = core.Observation
+
+// Options configures model construction; start from DefaultOptions.
 type Options = core.Options
 
 // Estimate is one estimation round's result.
@@ -56,11 +82,17 @@ type Dataset = dataset.Dataset
 // DatasetConfig parameterises BuildDataset.
 type DatasetConfig = dataset.Config
 
-// New builds an Estimator from a network and its historical database. This
-// is the expensive offline phase; Estimate calls are cheap enough for
-// real-time use.
-func New(net *Network, db *HistoryDB, opts Options) (*Estimator, error) {
+// New builds a frozen version-1 Model from a network and its historical
+// database. This is the expensive offline phase; Estimate calls are cheap
+// enough for real-time use.
+func New(net *Network, db *HistoryDB, opts Options) (*Model, error) {
 	return core.New(net, db, opts)
+}
+
+// NewStore builds the initial Model and wraps it in a Store ready for
+// observation ingestion and zero-downtime background rebuilds.
+func NewStore(net *Network, db *HistoryDB, opts Options) (*Store, error) {
+	return core.NewStore(net, db, opts)
 }
 
 // DefaultOptions returns the configuration used by the paper-reproduction
