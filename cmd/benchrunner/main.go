@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/lint"
 	"repro/internal/obs"
 )
 
@@ -124,15 +126,19 @@ func main() {
 
 	if *jsonOut != "" {
 		doc := struct {
-			GeneratedAt string                        `json:"generated_at"`
-			Fast        bool                          `json:"fast"`
-			Experiments []runRecord                   `json:"experiments"`
-			Metrics     map[string]obs.FamilySnapshot `json:"metrics"`
+			GeneratedAt  string                        `json:"generated_at"`
+			Fast         bool                          `json:"fast"`
+			ModelVersion uint64                        `json:"model_version"`
+			Toolchain    toolchainRecord               `json:"toolchain"`
+			Experiments  []runRecord                   `json:"experiments"`
+			Metrics      map[string]obs.FamilySnapshot `json:"metrics"`
 		}{
-			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-			Fast:        *fast,
-			Experiments: runs,
-			Metrics:     obs.Default().Snapshot(),
+			GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+			Fast:         *fast,
+			ModelVersion: ctx.modelVersion(),
+			Toolchain:    toolchainVersions(),
+			Experiments:  runs,
+			Metrics:      obs.Default().Snapshot(),
 		}
 		raw, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -142,6 +148,27 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonOut)
+	}
+}
+
+// staticcheckVersion is the staticcheck release CI pins (see
+// .github/workflows/ci.yml); recorded in -json reports so archived numbers
+// state which lint toolchain vetted the tree that produced them.
+const staticcheckVersion = "2025.1.1"
+
+// toolchainRecord attributes a -json report to the toolchain that produced
+// and vetted it.
+type toolchainRecord struct {
+	Go          string `json:"go"`
+	Tslint      string `json:"tslint"`
+	Staticcheck string `json:"staticcheck"`
+}
+
+func toolchainVersions() toolchainRecord {
+	return toolchainRecord{
+		Go:          runtime.Version(),
+		Tslint:      lint.Version,
+		Staticcheck: staticcheckVersion,
 	}
 }
 

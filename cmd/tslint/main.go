@@ -1,0 +1,92 @@
+// Command tslint runs the repo's static-analysis suite (internal/lint): the
+// analyzers that enforce the pipeline's concurrency, immutability and
+// observability invariants — modelmut, atomicload, spanend, metricname,
+// errwrap, floateq — plus directive hygiene for //lint:ignore suppressions.
+//
+// Usage:
+//
+//	tslint [flags] [packages]
+//
+//	tslint ./...                 # whole repo (CI's required lint job)
+//	tslint -checks floateq ./... # one analyzer
+//	tslint -list                 # print the suite with docs
+//
+// Diagnostics print as file:line:col: message (check). Exit status is 0 when
+// the tree is clean, 1 when any diagnostic survives suppression, and 2 on
+// driver errors (unloadable packages, unknown checks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		checks  = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		version = flag.Bool("version", false, "print the suite version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("tslint", lint.Version)
+		return
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tslint:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(lint.LoadConfig{}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tslint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tslint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tslint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -checks flag against the registered suite.
+func selectAnalyzers(checks string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if checks == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (run -list for the suite)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

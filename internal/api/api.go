@@ -89,6 +89,12 @@ type Server struct {
 	seedCache      map[seedKey][]roadnet.RoadID
 	seedCacheOrder []seedKey // insertion order for FIFO eviction
 	seedInflight   map[seedKey]*seedCall
+	seedVersion    uint64 // latest published model version, maintained by the swap hook
+
+	// onSeedSelected, when set, runs after a seed selection completes and
+	// before its result is considered for caching. Test seam: lets a test
+	// interleave a model swap into that window deterministically.
+	onSeedSelected func()
 }
 
 // seedCall is one in-flight seed selection; duplicate requests for the same
@@ -115,6 +121,7 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 		mux:          http.NewServeMux(),
 		seedCache:    map[seedKey][]roadnet.RoadID{},
 		seedInflight: map[seedKey]*seedCall{},
+		seedVersion:  store.Model().Version(),
 	}
 	// Drop seed sets selected against superseded models as soon as a
 	// rebuild swaps; lookups are version-keyed anyway, so this is purely
@@ -404,11 +411,21 @@ func (s *Server) seedsFor(m *core.Model, k int) ([]roadnet.RoadID, error) {
 
 	seedCacheMisses.Inc()
 	c.seeds, c.err = s.store.SelectSeedsOn(m, k)
+	if s.onSeedSelected != nil {
+		s.onSeedSelected()
+	}
 	close(c.done)
 
 	s.mu.Lock()
 	delete(s.seedInflight, key)
-	if c.err == nil {
+	// Cache only results for the still-published version: if a rebuild
+	// swapped while this selection ran, dropStaleSeeds already purged the
+	// superseded generation, and inserting this entry afterwards would
+	// resurrect a (k, oldVersion) key no lookup can ever hit — wasting one
+	// of the seedCacheMax slots and inflating the entries gauge until FIFO
+	// eviction happens to reach it. The waiters still get the result below,
+	// correctly labelled with the version they asked for.
+	if c.err == nil && key.version == s.seedVersion {
 		if len(s.seedCacheOrder) >= seedCacheMax {
 			oldest := s.seedCacheOrder[0]
 			s.seedCacheOrder = s.seedCacheOrder[1:]
@@ -418,6 +435,8 @@ func (s *Server) seedsFor(m *core.Model, k int) ([]roadnet.RoadID, error) {
 		s.seedCache[key] = c.seeds
 		s.seedCacheOrder = append(s.seedCacheOrder, key)
 		seedCacheSize.Set(float64(len(s.seedCache)))
+	} else if c.err == nil {
+		seedCacheStaleInserts.Inc()
 	}
 	s.mu.Unlock()
 	return c.seeds, c.err
@@ -427,10 +446,11 @@ func (s *Server) seedsFor(m *core.Model, k int) ([]roadnet.RoadID, error) {
 // current. Runs from the store's swap hook, so the cache never retains
 // selections for models no request can resolve anymore. In-flight
 // selections are left alone: their waiters hold the old *Model and get a
-// correctly-labelled result, and the completed entry is keyed by the old
-// version, where no future lookup will find it (it ages out by FIFO).
+// correctly-labelled result — but the completed selection is not cached,
+// because seedsFor rechecks the version recorded here before inserting.
 func (s *Server) dropStaleSeeds(current uint64) {
 	s.mu.Lock()
+	s.seedVersion = current
 	kept := s.seedCacheOrder[:0]
 	for _, key := range s.seedCacheOrder {
 		if key.version == current {
@@ -459,6 +479,8 @@ var (
 		"Requests that waited on an in-flight seed selection for the same k instead of re-running it.")
 	seedCacheInvalidations = obs.Default().Counter("trendspeed_api_seed_cache_invalidations_total",
 		"Seed-set cache entries dropped because a model rebuild superseded their version.")
+	seedCacheStaleInserts = obs.Default().Counter("trendspeed_api_seed_cache_stale_inserts_total",
+		"Completed seed selections not cached because a rebuild superseded their model version mid-selection.")
 )
 
 // roadResponse describes one road.

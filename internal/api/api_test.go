@@ -25,7 +25,7 @@ var (
 // fixtures builds one small trained model store shared by the read-only API
 // tests. Tests that ingest or rebuild must use freshStore instead: the
 // shared store's version would drift under them.
-func fixtures(t *testing.T) (*dataset.Dataset, *core.Store) {
+func fixtures(t testing.TB) (*dataset.Dataset, *core.Store) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		cfg := dataset.DefaultConfig()
@@ -46,7 +46,7 @@ func fixtures(t *testing.T) (*dataset.Dataset, *core.Store) {
 
 // freshStore builds a private store for tests that mutate model state
 // (ingest, rebuild) so they cannot interfere with the shared fixture.
-func freshStore(t *testing.T) (*dataset.Dataset, *core.Store) {
+func freshStore(t testing.TB) (*dataset.Dataset, *core.Store) {
 	t.Helper()
 	cfg := dataset.DefaultConfig()
 	cfg.Net.BlocksX, cfg.Net.BlocksY = 5, 4

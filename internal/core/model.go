@@ -145,7 +145,7 @@ func build(net *roadnet.Network, db *history.DB, opts Options, version uint64) (
 		temper = 0.2
 	}
 	if temper < 0 || temper > 1 {
-		return nil, fmt.Errorf("core: TrendTemper must be in (0, 1], got %v", temper)
+		return nil, fmt.Errorf("core: TrendTemper must be in (0, 1], got %v: %w", temper, ErrInvalidInput)
 	}
 	special := opts.Specialize
 	if special == (hlm.SpecializeConfig{}) {

@@ -255,6 +255,7 @@ func scorePair(db *history.DB, u, v roadnet.RoadID, cfg Config) (Edge, bool) {
 
 func sortEdges(es []Edge) {
 	sort.Slice(es, func(i, j int) bool {
+		//lint:ignore floateq sort tie-break: exact equality falls through to the ID order, an epsilon would break strict weak ordering
 		if es[i].Agreement != es[j].Agreement {
 			return es[i].Agreement > es[j].Agreement
 		}

@@ -25,6 +25,7 @@ func buildDataset(t *testing.T) *dataset.Dataset {
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := []Config{
 		{MaxHops: 0, MinAgreement: 0.6, MinCoObserved: 1},
 		{MaxHops: 1, MinAgreement: 0.4, MinCoObserved: 1},
@@ -44,6 +45,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestBuildRejectsMismatchedSizes(t *testing.T) {
+	t.Parallel()
 	d := buildDataset(t)
 	cal := timeslot.MustCalendar(time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC), 10*time.Minute)
 	b, _ := history.NewBuilder(cal, 1)
@@ -57,6 +59,7 @@ func TestBuildRejectsMismatchedSizes(t *testing.T) {
 }
 
 func TestGraphStructure(t *testing.T) {
+	t.Parallel()
 	d := buildDataset(t)
 	g, err := Build(d.Net, d.DB, DefaultConfig())
 	if err != nil {
@@ -109,6 +112,7 @@ func TestGraphStructure(t *testing.T) {
 }
 
 func TestMostEdgesJoinNearbyRoads(t *testing.T) {
+	t.Parallel()
 	d := buildDataset(t)
 	cfg := DefaultConfig()
 	g, err := Build(d.Net, d.DB, cfg)
@@ -133,6 +137,7 @@ func TestMostEdgesJoinNearbyRoads(t *testing.T) {
 }
 
 func TestHigherThresholdSparsifies(t *testing.T) {
+	t.Parallel()
 	d := buildDataset(t)
 	loose, strict := DefaultConfig(), DefaultConfig()
 	loose.MinAgreement, strict.MinAgreement = 0.55, 0.8
@@ -151,6 +156,7 @@ func TestHigherThresholdSparsifies(t *testing.T) {
 }
 
 func TestMaxNeighborsCap(t *testing.T) {
+	t.Parallel()
 	d := buildDataset(t)
 	cfg := DefaultConfig()
 	cfg.MinAgreement = 0.55
@@ -180,6 +186,7 @@ func TestMaxNeighborsCap(t *testing.T) {
 }
 
 func TestAdjacentRoadsAgreeMoreThanThreshold(t *testing.T) {
+	t.Parallel()
 	// The simulator's correlated field should give physically adjacent roads
 	// high trend agreement; sanity-check the estimator sees it.
 	d := buildDataset(t)

@@ -9,6 +9,7 @@ import (
 )
 
 func TestNewGraphValidation(t *testing.T) {
+	t.Parallel()
 	bad := []struct {
 		name string
 		n    int
@@ -31,6 +32,7 @@ func TestNewGraphValidation(t *testing.T) {
 // Property: NewGraph always yields a symmetric graph whose edge count
 // matches the spec count.
 func TestNewGraphSymmetryProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + rng.Intn(12)

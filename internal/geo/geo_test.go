@@ -10,6 +10,7 @@ import (
 func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestPointArithmetic(t *testing.T) {
+	t.Parallel()
 	p, q := Pt(3, 4), Pt(1, -2)
 	if got := p.Add(q); got != Pt(4, 2) {
 		t.Errorf("Add = %v, want (4,2)", got)
@@ -32,6 +33,7 @@ func TestPointArithmetic(t *testing.T) {
 }
 
 func TestLerp(t *testing.T) {
+	t.Parallel()
 	a, b := Pt(0, 0), Pt(10, 20)
 	if got := a.Lerp(b, 0); got != a {
 		t.Errorf("Lerp(0) = %v, want %v", got, a)
@@ -45,6 +47,7 @@ func TestLerp(t *testing.T) {
 }
 
 func TestProjectorRoundTrip(t *testing.T) {
+	t.Parallel()
 	pr := NewProjector(LatLon{Lat: 39.9, Lon: 116.4}) // Beijing-ish
 	cases := []LatLon{
 		{39.9, 116.4},
@@ -60,6 +63,7 @@ func TestProjectorRoundTrip(t *testing.T) {
 }
 
 func TestProjectorAgreesWithHaversine(t *testing.T) {
+	t.Parallel()
 	origin := LatLon{Lat: 39.9, Lon: 116.4}
 	pr := NewProjector(origin)
 	other := LatLon{Lat: 39.93, Lon: 116.46}
@@ -72,6 +76,7 @@ func TestProjectorAgreesWithHaversine(t *testing.T) {
 }
 
 func TestHaversineKnownDistance(t *testing.T) {
+	t.Parallel()
 	// Beijing to Tianjin is roughly 110 km.
 	d := HaversineMeters(LatLon{39.9042, 116.4074}, LatLon{39.3434, 117.3616})
 	if d < 100e3 || d > 120e3 {
@@ -80,6 +85,7 @@ func TestHaversineKnownDistance(t *testing.T) {
 }
 
 func TestRectBasics(t *testing.T) {
+	t.Parallel()
 	r := EmptyRect()
 	if !r.Empty() {
 		t.Fatal("EmptyRect should be empty")
@@ -106,6 +112,7 @@ func TestRectBasics(t *testing.T) {
 }
 
 func TestRectUnionIntersect(t *testing.T) {
+	t.Parallel()
 	a := Rect{Min: Pt(0, 0), Max: Pt(2, 2)}
 	b := Rect{Min: Pt(1, 1), Max: Pt(3, 3)}
 	c := Rect{Min: Pt(5, 5), Max: Pt(6, 6)}
@@ -125,6 +132,7 @@ func TestRectUnionIntersect(t *testing.T) {
 }
 
 func TestPolylineLengthAndAt(t *testing.T) {
+	t.Parallel()
 	pl := Polyline{Pt(0, 0), Pt(3, 0), Pt(3, 4)}
 	if got := pl.Length(); got != 7 {
 		t.Fatalf("Length = %v, want 7", got)
@@ -147,6 +155,7 @@ func TestPolylineLengthAndAt(t *testing.T) {
 }
 
 func TestPolylineProject(t *testing.T) {
+	t.Parallel()
 	pl := Polyline{Pt(0, 0), Pt(10, 0)}
 	closest, along, perp := pl.Project(Pt(4, 3))
 	if closest != Pt(4, 0) || along != 4 || perp != 3 {
@@ -167,6 +176,7 @@ func TestPolylineProject(t *testing.T) {
 }
 
 func TestPolylineHeading(t *testing.T) {
+	t.Parallel()
 	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
 	if h := pl.Heading(5); !almostEq(h, 0, 1e-12) {
 		t.Errorf("Heading(5) = %v, want 0 (east)", h)
@@ -178,6 +188,7 @@ func TestPolylineHeading(t *testing.T) {
 
 // Property: At(Project(p).along) equals the projected closest point.
 func TestProjectAtConsistency(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	pl := Polyline{Pt(0, 0), Pt(50, 10), Pt(80, -20), Pt(120, 0)}
 	for i := 0; i < 200; i++ {
@@ -192,6 +203,7 @@ func TestProjectAtConsistency(t *testing.T) {
 
 // Property: projection distance is no greater than the distance to any vertex.
 func TestProjectIsClosestProperty(t *testing.T) {
+	t.Parallel()
 	pl := Polyline{Pt(0, 0), Pt(30, 40), Pt(60, 0)}
 	f := func(x, y float64) bool {
 		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
@@ -212,6 +224,7 @@ func TestProjectIsClosestProperty(t *testing.T) {
 }
 
 func TestGridIndexFindsNeighbours(t *testing.T) {
+	t.Parallel()
 	// 100 unit boxes on a 10x10 lattice spaced 50 m apart.
 	pts := make([]Point, 100)
 	for i := range pts {
@@ -235,6 +248,7 @@ func TestGridIndexFindsNeighbours(t *testing.T) {
 }
 
 func TestGridIndexNoDuplicates(t *testing.T) {
+	t.Parallel()
 	// One long box spanning many cells must be returned exactly once.
 	g := NewGridIndex(1, 10, func(int) Rect {
 		return Rect{Min: Pt(0, 0), Max: Pt(500, 2)}
@@ -246,6 +260,7 @@ func TestGridIndexNoDuplicates(t *testing.T) {
 }
 
 func TestGridIndexEmpty(t *testing.T) {
+	t.Parallel()
 	g := NewGridIndex(0, 100, func(int) Rect { return EmptyRect() })
 	if got := g.Query(nil, Pt(0, 0), 1000); len(got) != 0 {
 		t.Errorf("empty index returned %v", got)
@@ -253,6 +268,7 @@ func TestGridIndexEmpty(t *testing.T) {
 }
 
 func TestGridIndexRandomisedAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(42))
 	n := 300
 	boxes := make([]Rect, n)

@@ -21,6 +21,13 @@ const (
 	codecVersion = 1
 )
 
+// codecMaxPrealloc caps any single up-front slice allocation while decoding.
+// Declared lengths beyond it must be paid for with actual input bytes — the
+// decoder grows the slices incrementally and fails on the first missing
+// byte — so a handful of attacker-controlled header bytes cannot demand
+// gigabytes of memory before the truncation is noticed.
+const codecMaxPrealloc = 1 << 16
+
 // WriteTo serialises the database; the returned count is bytes written.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -104,15 +111,16 @@ func ReadDB(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("history: reconstructing calendar: %w", err)
 	}
+	profCount := int(numRoads) * cal.NumProfileClasses()
 	db := &DB{
 		cal:      cal,
 		numRoads: int(numRoads),
-		profile:  make([]profileCell, int(numRoads)*cal.NumProfileClasses()),
-		overall:  make([]float32, numRoads),
-		series:   make([][]Sample, numRoads),
+		profile:  make([]profileCell, 0, min(profCount, codecMaxPrealloc)),
+		overall:  make([]float32, 0, min(int(numRoads), codecMaxPrealloc)),
+		series:   make([][]Sample, 0, min(int(numRoads), codecMaxPrealloc)),
 	}
-	for i := range db.profile {
-		c := &db.profile[i]
+	for i := 0; i < profCount; i++ {
+		var c profileCell
 		if err := read(&c.mean); err != nil {
 			return nil, err
 		}
@@ -125,11 +133,19 @@ func ReadDB(r io.Reader) (*DB, error) {
 		if err := read(&c.nUp); err != nil {
 			return nil, err
 		}
+		db.profile = append(db.profile, c)
 	}
-	if err := read(db.overall); err != nil {
-		return nil, err
+	var fbuf [4096]float32
+	for got := 0; got < int(numRoads); {
+		n := min(int(numRoads)-got, len(fbuf))
+		if err := read(fbuf[:n]); err != nil {
+			return nil, err
+		}
+		db.overall = append(db.overall, fbuf[:n]...)
+		got += n
 	}
-	for i := range db.series {
+	var sbuf [2048]Sample
+	for i := 0; i < int(numRoads); i++ {
 		var sl uint32
 		if err := read(&sl); err != nil {
 			return nil, err
@@ -137,11 +153,16 @@ func ReadDB(r io.Reader) (*DB, error) {
 		if sl > 1<<26 {
 			return nil, fmt.Errorf("history: implausible series length %d", sl)
 		}
-		s := make([]Sample, sl)
-		if err := read(s); err != nil {
-			return nil, err
+		s := make([]Sample, 0, min(int(sl), codecMaxPrealloc))
+		for got := 0; got < int(sl); {
+			n := min(int(sl)-got, len(sbuf))
+			if err := read(sbuf[:n]); err != nil {
+				return nil, err
+			}
+			s = append(s, sbuf[:n]...)
+			got += n
 		}
-		db.series[i] = s
+		db.series = append(db.series, s)
 	}
 	return db, nil
 }

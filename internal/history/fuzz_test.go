@@ -1,0 +1,81 @@
+package history
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/timeslot"
+)
+
+// fuzzSeedDB builds a tiny valid database and returns its serialized form,
+// the canonical well-formed corpus entry.
+func fuzzSeedDB(f *testing.F) []byte {
+	f.Helper()
+	c := timeslot.MustCalendar(time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC), 10*time.Minute)
+	b, err := NewBuilder(c, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for day := 0; day < 2; day++ {
+		base := day * c.SlotsPerDay()
+		if err := b.Add(0, base, 10.5); err != nil {
+			f.Fatal(err)
+		}
+		if err := b.Add(1, base+1, 7.25); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := b.Finalize().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadDB drives the binary decoder with arbitrary bytes. The properties:
+// ReadDB never panics and never allocates proportionally to declared (rather
+// than delivered) lengths — the decompression-bomb guard — and anything it
+// accepts must round-trip: re-encoding the decoded DB and decoding that must
+// yield a byte-identical encoding (the codec is canonical).
+func FuzzReadDB(f *testing.F) {
+	valid := fuzzSeedDB(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("THDB"))
+	f.Add(valid[:len(valid)/2])                           // truncated mid-payload
+	f.Add(append([]byte("XHDB"), valid[4:]...))           // bad magic
+	f.Add(append([]byte(nil), bytes.Repeat(valid, 2)...)) // trailing garbage
+	// Bomb shape: a complete 28-byte header whose numRoads (offset 24,
+	// little-endian, after magic+version+epoch+width) declares ~16M roads
+	// with no payload behind it. Must fail fast on truncation, not allocate
+	// proportionally to the declared count first.
+	bomb := append([]byte(nil), valid[:28]...)
+	bomb[24], bomb[25], bomb[26], bomb[27] = 0xff, 0xff, 0xff, 0x00
+	f.Add(bomb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := ReadDB(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if db.NumRoads() <= 0 {
+			t.Fatalf("accepted a DB with %d roads", db.NumRoads())
+		}
+		var first bytes.Buffer
+		if _, err := db.WriteTo(&first); err != nil {
+			t.Fatalf("re-encoding accepted DB: %v", err)
+		}
+		db2, err := ReadDB(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		var second bytes.Buffer
+		if _, err := db2.WriteTo(&second); err != nil {
+			t.Fatalf("re-encoding round-tripped DB: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encoding is not canonical: round-trip changed %d bytes", len(first.Bytes()))
+		}
+	})
+}

@@ -171,6 +171,7 @@ type sumCount struct {
 // NewBuilder returns an empty Builder for numRoads roads.
 func NewBuilder(cal *timeslot.Calendar, numRoads int) (*Builder, error) {
 	if numRoads <= 0 {
+		//lint:ignore errwrap builder misconfiguration at construction time, not request input; no API-boundary sentinel applies
 		return nil, fmt.Errorf("history: numRoads must be positive, got %d", numRoads)
 	}
 	b := &Builder{cal: cal, numRoads: numRoads, agg: make([]map[int32]sumCount, numRoads)}

@@ -556,6 +556,7 @@ func (m *Model) predictRoad(r roadnet.RoadID, req *Request, rel []float64, known
 		acc += w * pred
 		wsum += w
 	}
+	//lint:ignore floateq exact zero means no predictor contributed any weight; every usable weight is strictly positive
 	if wsum == 0 {
 		// No usable predictor: the trend-conditioned prior.
 		return m.priorRel(r, req)

@@ -174,6 +174,7 @@ func trainSeedRoad(db *history.DB, r roadnet.RoadID, cands []roadnet.RoadID, see
 		return seedRoadModel{}
 	}
 	sort.Slice(scored, func(i, j int) bool {
+		//lint:ignore floateq sort tie-break: exact equality falls through to the seed order, an epsilon would break strict weak ordering
 		if math.Abs(scored[i].corr) != math.Abs(scored[j].corr) {
 			return math.Abs(scored[i].corr) > math.Abs(scored[j].corr)
 		}

@@ -90,6 +90,7 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
+			//lint:ignore floateq exact-zero sparsity skip: only terms contributing exactly nothing are skipped
 			if a == 0 {
 				continue
 			}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestMatrixBasics(t *testing.T) {
+	t.Parallel()
 	m := NewMatrix(2, 3)
 	if m.Rows() != 2 || m.Cols() != 3 {
 		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
@@ -25,6 +26,7 @@ func TestMatrixBasics(t *testing.T) {
 }
 
 func TestFromRows(t *testing.T) {
+	t.Parallel()
 	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +44,7 @@ func TestFromRows(t *testing.T) {
 }
 
 func TestTranspose(t *testing.T) {
+	t.Parallel()
 	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
 	tr := m.T()
 	if tr.Rows() != 3 || tr.Cols() != 2 {
@@ -57,6 +60,7 @@ func TestTranspose(t *testing.T) {
 }
 
 func TestMul(t *testing.T) {
+	t.Parallel()
 	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
 	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
 	c, err := a.Mul(b)
@@ -77,6 +81,7 @@ func TestMul(t *testing.T) {
 }
 
 func TestMulVec(t *testing.T) {
+	t.Parallel()
 	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
 	v, err := a.MulVec([]float64{1, 1})
 	if err != nil {
@@ -91,6 +96,7 @@ func TestMulVec(t *testing.T) {
 }
 
 func TestCholeskyKnown(t *testing.T) {
+	t.Parallel()
 	a, _ := FromRows([][]float64{
 		{4, 12, -16},
 		{12, 37, -43},
@@ -111,6 +117,7 @@ func TestCholeskyKnown(t *testing.T) {
 }
 
 func TestCholeskyRejectsIndefinite(t *testing.T) {
+	t.Parallel()
 	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3 and -1
 	if _, err := Cholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
 		t.Errorf("indefinite matrix: err = %v", err)
@@ -121,6 +128,7 @@ func TestCholeskyRejectsIndefinite(t *testing.T) {
 }
 
 func TestSolveRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 20; trial++ {
 		n := 1 + rng.Intn(6)
@@ -152,6 +160,7 @@ func TestSolveRoundTrip(t *testing.T) {
 }
 
 func TestSolveCholeskyShapeError(t *testing.T) {
+	t.Parallel()
 	a, _ := FromRows([][]float64{{4, 0}, {0, 4}})
 	l, _ := Cholesky(a)
 	if _, err := SolveCholesky(l, []float64{1}); !errors.Is(err, ErrShape) {
@@ -160,6 +169,7 @@ func TestSolveCholeskyShapeError(t *testing.T) {
 }
 
 func TestDotMeanVariance(t *testing.T) {
+	t.Parallel()
 	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
 		t.Error("Dot wrong")
 	}
@@ -178,6 +188,7 @@ func TestDotMeanVariance(t *testing.T) {
 }
 
 func TestRidgeRecoversExactLinearModel(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	n, p := 200, 3
 	wTrue := []float64{2.5, -1.0, 0.5}
@@ -213,6 +224,7 @@ func TestRidgeRecoversExactLinearModel(t *testing.T) {
 }
 
 func TestRidgeShrinksCoefficients(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	n := 100
 	x := make([][]float64, n)
@@ -230,6 +242,7 @@ func TestRidgeShrinksCoefficients(t *testing.T) {
 }
 
 func TestRidgeHandlesCollinearFeatures(t *testing.T) {
+	t.Parallel()
 	// Two identical columns would make OLS singular; ridge must cope.
 	x := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
 	y := []float64{2, 4, 6, 8}
@@ -244,6 +257,7 @@ func TestRidgeHandlesCollinearFeatures(t *testing.T) {
 }
 
 func TestRidgeInterceptOnly(t *testing.T) {
+	t.Parallel()
 	m, err := RidgeFit([][]float64{{}, {}, {}}, []float64{1, 2, 3}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -257,6 +271,7 @@ func TestRidgeInterceptOnly(t *testing.T) {
 }
 
 func TestRidgeErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := RidgeFit(nil, nil, 0); !errors.Is(err, ErrNoSamples) {
 		t.Error("empty fit accepted")
 	}
@@ -277,6 +292,7 @@ func TestRidgeErrors(t *testing.T) {
 
 // Property: OLS (lambda→0) residuals are orthogonal to every centred feature.
 func TestOLSResidualOrthogonality(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(99))
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -315,6 +331,7 @@ func TestOLSResidualOrthogonality(t *testing.T) {
 
 // Property: Cholesky round-trips L·Lᵀ = A for random SPD matrices.
 func TestCholeskyRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		n := 1 + int(seed%5+5)%5

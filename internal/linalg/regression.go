@@ -96,6 +96,7 @@ func RidgeFit(x [][]float64, y []float64, lambda float64) (*RidgeModel, error) {
 		}
 		cy := y[i] - yMean
 		for a := 0; a < p; a++ {
+			//lint:ignore floateq exact-zero sparsity skip: only terms contributing exactly nothing are skipped
 			if cr[a] == 0 {
 				continue
 			}

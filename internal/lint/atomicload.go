@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicLoad enforces the PR 2 snapshot-per-round semantics: a function may
+// call .Load() on a published atomic.Pointer (a struct field or package
+// variable) at most once, binding the result to a local. Two loads in one
+// function — or one load inside a loop — can observe two different published
+// values across a concurrent swap, which is exactly the torn-snapshot bug
+// the atomic pointer was introduced to prevent.
+var AtomicLoad = &Analyzer{
+	Name: "atomicload",
+	Doc: "a function may Load a published atomic.Pointer at most once (and never in a loop); " +
+		"bind the snapshot to a local so a concurrent swap cannot hand one function two versions",
+	Run: runAtomicLoad,
+}
+
+func runAtomicLoad(p *Pass) error {
+	for _, f := range p.Files {
+		funcScopes(f, func(_ string, body *ast.BlockStmt) {
+			seen := map[string]int{}
+			var walk func(n ast.Node, loopDepth int)
+			walk = func(n ast.Node, loopDepth int) {
+				switch n := n.(type) {
+				case nil:
+					return
+				case *ast.FuncLit:
+					return // its own scope
+				case *ast.ForStmt, *ast.RangeStmt:
+					loopDepth++
+				case *ast.CallExpr:
+					if key, ok := publishedPointerLoad(p, n); ok {
+						seen[key]++
+						switch {
+						case loopDepth > 0:
+							p.Reportf(n.Pos(), "Load of published atomic pointer %s inside a loop; hoist one snapshot load before the loop", key)
+						case seen[key] > 1:
+							p.Reportf(n.Pos(), "second Load of published atomic pointer %s in one function; bind the first Load to a local snapshot and reuse it", key)
+						}
+					}
+				}
+				for _, c := range children(n) {
+					walk(c, loopDepth)
+				}
+			}
+			walk(body, 0)
+		})
+	}
+	return nil
+}
+
+// children returns the direct AST children of n, used for the depth-tracking
+// walk above (ast.Inspect cannot carry per-branch state).
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// publishedPointerLoad reports whether call is sel.Load() on a published
+// sync/atomic.Pointer — a struct field or a package-level variable — and
+// returns the rendered receiver chain as the dedup key. Loads of local
+// pointer variables are not "published" state and are exempt.
+func publishedPointerLoad(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return "", false
+	}
+	if !isNamedPath(p.Info.TypeOf(sel.X), "sync/atomic", "Pointer") {
+		return "", false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		key := exprString(recv)
+		if key == "" {
+			key = "<expr>"
+		}
+		return key, true
+	case *ast.Ident:
+		obj := p.Info.Uses[recv]
+		if v, ok := obj.(*types.Var); ok && v.Parent() == p.Pkg.Scope() {
+			return recv.Name, true
+		}
+	}
+	return "", false
+}

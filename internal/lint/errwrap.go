@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errwrapPhrases are the validation-error phrasings this repo uses. An error
+// whose message matches one of these is (by convention) reporting bad caller
+// input, and internal/api classifies such errors into 400-vs-500 with
+// errors.Is against the sentinels — which only works if the constructor
+// wrapped one via %w.
+var errwrapPhrases = []string{"invalid", "must be", "out of range"}
+
+// ErrWrap enforces the PR 2/PR 3 error-classification contract on the
+// packages whose errors cross the internal/api boundary (core, history,
+// api): a fmt.Errorf with validation phrasing must wrap a sentinel
+// (core.ErrInvalidInput, history.ErrInvalidObservation) or an upstream error
+// via %w. Without the wrap, api.estimateStatus misclassifies the caller's
+// bad input as a 5xx and operators page on client noise.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "validation errors in core/history/api must wrap a sentinel via %w " +
+		"so the HTTP layer can classify them as the caller's fault (400) instead of an internal failure (500)",
+	Run: runErrWrap,
+}
+
+func runErrWrap(p *Pass) error {
+	if !pkgNameIn(p, "core", "history", "api") {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(p, call, "fmt", "Errorf") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			format, ok := constString(p, call.Args[0])
+			if !ok {
+				return true
+			}
+			lower := strings.ToLower(format)
+			matched := ""
+			for _, phrase := range errwrapPhrases {
+				if strings.Contains(lower, phrase) {
+					matched = phrase
+					break
+				}
+			}
+			if matched == "" || strings.Contains(format, "%w") {
+				return true
+			}
+			p.Reportf(call.Pos(), "validation error (%q phrasing) without %%w: wrap core.ErrInvalidInput / history.ErrInvalidObservation so the API boundary answers 4xx, not 5xx", matched)
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes pkgPath.funcName (e.g. fmt.Errorf).
+func isPkgFunc(p *Pass, call *ast.CallExpr, pkgPath, funcName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

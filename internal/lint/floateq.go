@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqPkgs are the inference-adjacent packages where silent numeric drift
+// is the dominant failure mode: belief propagation (mrf), the linear-algebra
+// kernels (linalg), correlation mining (corr), the hierarchical linear model
+// (hlm) and submodular seed selection (seedsel).
+var floatEqPkgs = []string{"mrf", "linalg", "corr", "hlm", "seedsel"}
+
+// FloatEq bans == and != on floating-point operands in the inference
+// packages. Exact float equality is almost never the intended predicate
+// after any arithmetic — a residual that is 1e-17 instead of 0 flips the
+// branch — and the few deliberate exact comparisons (sentinel zeros,
+// unmodified stored values) must carry a //lint:ignore floateq with the
+// justification.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "no ==/!= on float operands in inference code (mrf, linalg, corr, hlm, seedsel); " +
+		"use an epsilon comparison, or suppress with a reason where exact identity is genuinely meant",
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) error {
+	if !pkgNameIn(p, floatEqPkgs...) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.Info.TypeOf(b.X)) || isFloat(p.Info.TypeOf(b.Y)) {
+				p.Reportf(b.OpPos, "float equality (%s) in inference code; compare with an epsilon (math.Abs(a-b) <= eps) or justify exact identity with //lint:ignore floateq", b.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// pureUnitPackages are the suites that declare t.Parallel() in every test:
+// safe only because no test file mutates package-level state. The meta-test
+// below keeps that assumption machine-checked.
+var pureUnitPackages = []string{
+	"repro/internal/timeslot",
+	"repro/internal/linalg",
+	"repro/internal/geo",
+	"repro/internal/corr",
+	"repro/internal/obs",
+}
+
+// TestParallelSuitesDoNotMutatePackageState type-checks the pure-unit
+// packages with their test files (lint.Load in Tests mode) and fails on any
+// assignment, IncDec or address-taking in a _test.go file whose target is a
+// package-scope variable. Those suites run t.Parallel() everywhere, so a
+// package-level write in one test is a data race planted in every other.
+func TestParallelSuitesDoNotMutatePackageState(t *testing.T) {
+	pkgs, err := Load(LoadConfig{Tests: true, Dir: "../.."}, pureUnitPackages...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no test packages")
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if !strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			checked++
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						reportPkgVarWrite(t, pkg, lhs, "assigns to")
+					}
+				case *ast.IncDecStmt:
+					reportPkgVarWrite(t, pkg, n.X, "mutates")
+				}
+				return true
+			})
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no _test.go files reached the checker; the Tests loader mode is broken")
+	}
+}
+
+// reportPkgVarWrite fails the test if expr's base operand is a
+// package-scope variable of pkg.
+func reportPkgVarWrite(t *testing.T, pkg *Package, expr ast.Expr, verb string) {
+	t.Helper()
+	base := expr
+	for {
+		switch e := base.(type) {
+		case *ast.ParenExpr:
+			base = e.X
+		case *ast.IndexExpr:
+			base = e.X
+		case *ast.StarExpr:
+			base = e.X
+		case *ast.SelectorExpr:
+			base = e.X
+		default:
+			id, ok := base.(*ast.Ident)
+			if !ok {
+				return
+			}
+			v, ok := pkg.Info.Uses[id].(*types.Var)
+			if !ok || v.Parent() != pkg.Types.Scope() {
+				return
+			}
+			t.Errorf("%s: test %s package-level variable %s; parallel suites must keep tests free of shared state",
+				pkg.Fset.Position(expr.Pos()), verb, v.Name())
+			return
+		}
+	}
+}

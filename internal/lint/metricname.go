@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// metricPrefix is the mandatory namespace of every metric family the
+// pipeline registers (see internal/obs package docs: the naming scheme is
+// trendspeed_<subsystem>_<name>_<unit>).
+const metricPrefix = "trendspeed_"
+
+// MetricName enforces the PR 1 observability naming contract: every metric
+// registered on an obs Registry uses a compile-time-constant,
+// trendspeed_-prefixed family name, and each family name is registered from
+// exactly one call site per package. Dynamic or unprefixed names fragment
+// the /metrics namespace; duplicate registration sites drift apart in help
+// text and labels until the registry's kind check panics in production.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "obs Registry metric names must be constant, trendspeed_-prefixed, " +
+		"and registered from a single call site per family and package",
+	Run: runMetricName,
+}
+
+func runMetricName(p *Pass) error {
+	firstSite := map[string]token.Position{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			if n := namedType(p.Info.TypeOf(sel.X)); n == nil || n.Obj().Name() != "Registry" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			name, ok := constString(p, call.Args[0])
+			if !ok {
+				p.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant string so the family set is auditable")
+				return true
+			}
+			if !strings.HasPrefix(name, metricPrefix) {
+				p.Reportf(call.Args[0].Pos(), "metric %q lacks the %s prefix required of every family this pipeline exports", name, metricPrefix)
+				return true
+			}
+			if prev, dup := firstSite[name]; dup {
+				p.Reportf(call.Args[0].Pos(), "metric %q is registered at multiple call sites in this package (first at %s:%d); register once and share the handle", name, prev.Filename, prev.Line)
+				return true
+			}
+			firstSite[name] = p.Fset.Position(call.Args[0].Pos())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ModelMut enforces the PR 3 snapshot contract: core.Model is an immutable,
+// versioned training artifact, so no code may assign to its fields outside
+// the constructor path (New / build in package core). Everything else must
+// go through the builder or publish state via the model's atomic pointers
+// (method calls, not field writes).
+var ModelMut = &Analyzer{
+	Name: "modelmut",
+	Doc: "disallow writes to core.Model fields outside its constructor/builder; " +
+		"Model is an immutable snapshot shared across concurrent estimation rounds",
+	Run: runModelMut,
+}
+
+// modelMutAllowed are the package-core functions that may initialise Model
+// fields: the public constructor and the version-stamping builder it shares
+// with the Store.
+var modelMutAllowed = map[string]bool{"New": true, "build": true}
+
+func runModelMut(p *Pass) error {
+	inCore := p.Pkg.Name() == "core"
+	for _, f := range p.Files {
+		funcScopes(f, func(name string, body *ast.BlockStmt) {
+			if inCore && modelMutAllowed[name] {
+				return
+			}
+			inspectShallow(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkModelWrite(p, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkModelWrite(p, n.X)
+				case *ast.UnaryExpr:
+					// Taking the address of a field is a write permit in
+					// disguise: the pointer escapes the immutability
+					// contract.
+					if n.Op == token.AND {
+						if sel, ok := n.X.(*ast.SelectorExpr); ok && isModelField(p, sel) {
+							p.Reportf(n.Pos(), "taking the address of core.Model field %s leaks a mutable reference to an immutable snapshot", sel.Sel.Name)
+						}
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// checkModelWrite reports lhs if it assigns to a field of core.Model.
+func checkModelWrite(p *Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || !isModelField(p, sel) {
+		return
+	}
+	p.Reportf(lhs.Pos(), "write to core.Model field %s outside its constructor; Model is an immutable snapshot (publish changes by building a successor model)", sel.Sel.Name)
+}
+
+// isModelField reports whether sel selects a field whose receiver is
+// core.Model (directly or through a pointer).
+func isModelField(p *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return isNamed(s.Recv(), "core", "Model")
+}

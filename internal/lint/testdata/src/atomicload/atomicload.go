@@ -1,0 +1,60 @@
+// Package atomicload is the fixture for the snapshot-per-round invariant:
+// published atomic.Pointer state is loaded at most once per function.
+package atomicload
+
+import "sync/atomic"
+
+type store struct {
+	cur atomic.Pointer[int]
+}
+
+var published atomic.Pointer[int]
+
+func double(s *store) (int, int) {
+	a := s.cur.Load()
+	b := s.cur.Load() // want `second Load of published atomic pointer s\.cur`
+	return *a, *b
+}
+
+func packageVar() (int, int) {
+	a := published.Load()
+	b := published.Load() // want `second Load of published atomic pointer published`
+	return *a, *b
+}
+
+func inLoop(s *store) int {
+	sum := 0
+	for i := 0; i < 3; i++ {
+		sum += *s.cur.Load() // want `Load of published atomic pointer s\.cur inside a loop`
+	}
+	return sum
+}
+
+func snapshot(s *store) (int, int) {
+	cur := s.cur.Load() // ok: one load, bound to a local, reused
+	return *cur, *cur
+}
+
+func closures(s *store) (int, int) {
+	// Each function literal is its own scope: one load per closure is the
+	// sanctioned snapshot pattern.
+	first := func() int { return *s.cur.Load() }
+	second := func() int { return *s.cur.Load() }
+	return first(), second()
+}
+
+func localPointer() (int, int) {
+	var p atomic.Pointer[int] // ok: a local pointer is not published state
+	v := 7
+	p.Store(&v)
+	a := p.Load()
+	b := p.Load()
+	return *a, *b
+}
+
+func suppressed(s *store) (int, int) {
+	a := s.cur.Load()
+	//lint:ignore atomicload fixture: exercising the suppression path
+	b := s.cur.Load()
+	return *a, *b
+}

@@ -1,0 +1,10 @@
+// Package directive exercises //lint:ignore hygiene: a directive that
+// suppresses nothing is reported as unused, and a directive without a
+// recorded reason is reported as malformed.
+package directive
+
+//lint:ignore floateq stale: this function no longer compares floats
+func clean() float64 { return 1.5 }
+
+//lint:ignore floateq
+func malformed() {}

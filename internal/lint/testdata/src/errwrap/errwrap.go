@@ -1,0 +1,34 @@
+// Package core (fixture) exercises the errwrap rule: validation-flavoured
+// fmt.Errorf messages in core/history/api must wrap a sentinel with %w so
+// the API layer can map them to 400s with errors.Is.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidInput mirrors the real core sentinel.
+var ErrInvalidInput = errors.New("invalid input")
+
+func wrapped(temper float64) error {
+	return fmt.Errorf("core: TrendTemper must be in (0, 1], got %v: %w", temper, ErrInvalidInput)
+}
+
+func bare(speed float64) error {
+	return fmt.Errorf("core: invalid seed speed %v", speed) // want `validation error .* without %w`
+}
+
+func rangeErr(road int) error {
+	return fmt.Errorf("core: road %d out of range", road) // want `validation error .* without %w`
+}
+
+func internal() error {
+	// ok: not validation phrasing, an internal failure needs no sentinel.
+	return fmt.Errorf("core: building correlation graph failed")
+}
+
+func suppressed(n int) error {
+	//lint:ignore errwrap fixture: constructor misuse, never crosses the API boundary
+	return fmt.Errorf("core: numRoads must be positive, got %d", n)
+}

@@ -1,0 +1,31 @@
+// Package linalg (fixture) exercises the floateq rule: inference code
+// (mrf, linalg, corr, hlm, seedsel package names) must not compare floats
+// with == or !=.
+package linalg
+
+import "math"
+
+const eps = 1e-12
+
+func bad(a, b float64) bool {
+	return a == b // want `float equality \(==\)`
+}
+
+func badNeq(v []float32) bool {
+	return v[0] != 0 // want `float equality \(!=\)`
+}
+
+func good(a, b float64) bool {
+	// ok: tolerance comparison is the sanctioned form.
+	return math.Abs(a-b) <= eps
+}
+
+func ints(a, b int) bool {
+	// ok: integer equality is exact.
+	return a == b
+}
+
+func suppressed(pivot float64) bool {
+	//lint:ignore floateq fixture: exact zero means the row was never touched
+	return pivot == 0
+}

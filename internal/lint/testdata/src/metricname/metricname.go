@@ -1,0 +1,40 @@
+// Package metricname mirrors the obs registry surface (a Registry with
+// Counter/Gauge/Histogram constructors) so the naming and
+// single-registration-site rules can be exercised without importing
+// repro/internal/obs.
+package metricname
+
+// Counter, Gauge and Histogram stand in for the obs instrument types.
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+// Registry mirrors obs.Registry: the analyzer matches the type name.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge     { return &Gauge{} }
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}
+
+// Default mirrors obs.Default.
+func Default() *Registry { return &Registry{} }
+
+const goodName = "trendspeed_fixture_named_const_total"
+
+var good = Default().Counter("trendspeed_fixture_good_total", "a well-named counter")
+
+var goodConst = Default().Gauge(goodName, "named constants are fine")
+
+var badPrefix = Default().Gauge("fixture_bad", "missing prefix") // want `lacks the trendspeed_ prefix`
+
+func dynamic(name string) *Counter {
+	return Default().Counter(name, "dynamic name") // want `must be a compile-time constant`
+}
+
+var dupA = Default().Counter("trendspeed_fixture_dup_total", "first site")
+var dupB = Default().Counter("trendspeed_fixture_dup_total", "second site") // want `registered at multiple call sites`
+
+//lint:ignore metricname fixture: exercising the suppression path
+var suppressed = Default().Histogram("fixture_suppressed", "suppressed prefix violation", nil)

@@ -1,0 +1,43 @@
+// Package core mirrors the shape of repro/internal/core for the modelmut
+// fixture: a Model struct, its constructor path, and the writes the
+// analyzer must reject.
+package core
+
+// Model mirrors the immutable-snapshot contract of the real core.Model.
+type Model struct {
+	Version uint64
+	Speeds  []float64
+}
+
+// New is the allowed constructor path.
+func New() *Model {
+	m := &Model{}
+	m.Version = 1
+	return m
+}
+
+// build is the allowed version-stamping builder path.
+func build(version uint64) *Model {
+	m := New()
+	m.Version = version
+	return m
+}
+
+// Mutate holds the violations: writes outside the constructor.
+func Mutate(m *Model) []float64 {
+	m.Version = 2    // want `write to core\.Model field Version outside its constructor`
+	m.Version++      // want `write to core\.Model field Version outside its constructor`
+	ptr := &m.Speeds // want `taking the address of core\.Model field Speeds`
+	return *ptr
+}
+
+// Rebuild is the blessed alternative: construct a successor.
+func Rebuild(m *Model) *Model {
+	return build(m.Version + 1)
+}
+
+// Suppressed documents the escape hatch.
+func Suppressed(m *Model) {
+	//lint:ignore modelmut fixture: exercising the suppression path
+	m.Version = 3
+}

@@ -1,0 +1,74 @@
+// Package spanend mirrors the obs tracing surface (StartSpan returning
+// (context.Context, *Span)) so the analyzer's End-on-all-paths rules can be
+// exercised without importing repro/internal/obs.
+package spanend
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// Span mirrors obs.Span for the fixture.
+type Span struct{ start time.Time }
+
+// End mirrors obs.(*Span).End.
+func (s *Span) End() time.Duration { return time.Since(s.start) }
+
+// StartSpan mirrors obs.StartSpan.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{start: time.Now()}
+}
+
+func deferred(ctx context.Context) {
+	_, sp := StartSpan(ctx, "ok")
+	defer sp.End()
+	work()
+}
+
+func deferredClosure(ctx context.Context) {
+	_, sp := StartSpan(ctx, "ok")
+	defer func() { _ = sp.End() }()
+	work()
+}
+
+func sequential(ctx context.Context) float64 {
+	_, sp := StartSpan(ctx, "ok") // ok: no return can skip the End below
+	work()
+	return sp.End().Seconds()
+}
+
+func never(ctx context.Context) *Span {
+	_, sp := StartSpan(ctx, "leak") // want `span sp is started here but never ended`
+	work()
+	return sp
+}
+
+func discarded(ctx context.Context) {
+	_, _ = StartSpan(ctx, "leak") // want `span started but immediately discarded`
+	work()
+}
+
+func dropped(ctx context.Context) {
+	StartSpan(ctx, "leak") // want `span started and discarded`
+	work()
+}
+
+func earlyReturn(ctx context.Context, fail bool) error {
+	_, sp := StartSpan(ctx, "leak") // want `span sp may leak: a return statement precedes its non-deferred End`
+	if fail {
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func suppressed(ctx context.Context) *Span {
+	//lint:ignore spanend fixture: exercising the suppression path
+	_, sp := StartSpan(ctx, "leak")
+	return sp
+}
+
+func work() {}

@@ -209,9 +209,11 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 		for u := start; u < end; u++ {
 			phiUp, phiDown := nodePot(u)
 			logUp, logDown := math.Log(clamp01(phiUp)), math.Log(clamp01(phiDown))
+			//lint:ignore floateq exact zero is the log-domain sentinel: a clamped potential of 0 must map to -Inf
 			if phiUp == 0 {
 				logUp = math.Inf(-1)
 			}
+			//lint:ignore floateq exact zero is the log-domain sentinel: a clamped potential of 0 must map to -Inf
 			if phiDown == 0 {
 				logDown = math.Inf(-1)
 			}

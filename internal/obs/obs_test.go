@@ -8,6 +8,7 @@ import (
 )
 
 func TestCounterBasics(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	c := r.Counter("trendspeed_test_total", "help")
 	c.Inc()
@@ -24,6 +25,7 @@ func TestCounterBasics(t *testing.T) {
 }
 
 func TestGaugeBasics(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	g := r.Gauge("trendspeed_test_gauge", "help")
 	g.Set(10)
@@ -36,6 +38,7 @@ func TestGaugeBasics(t *testing.T) {
 }
 
 func TestHistogramBuckets(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	h := r.Histogram("trendspeed_test_seconds", "help", []float64{1, 2, 5})
 	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
@@ -65,6 +68,7 @@ func TestHistogramBuckets(t *testing.T) {
 // TestExpositionGolden locks the exact text exposition rendering, including
 // HELP/TYPE lines, label ordering, label escaping and histogram expansion.
 func TestExpositionGolden(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.Counter("trendspeed_http_requests_total", "Total HTTP requests.", "route", "/v1/estimate", "class", "2xx").Add(3)
 	r.Counter("trendspeed_http_requests_total", "Total HTTP requests.", "route", "/v1/estimate", "class", "4xx").Inc()
@@ -94,6 +98,7 @@ trendspeed_stage_seconds_count{stage="tricky\"\\\n"} 2
 }
 
 func TestInvalidNamesPanic(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	mustPanic := func(name string, fn func()) {
 		t.Helper()
@@ -112,6 +117,7 @@ func TestInvalidNamesPanic(t *testing.T) {
 }
 
 func TestSnapshot(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.Counter("trendspeed_runs_total", "Runs.").Add(4)
 	r.Histogram("trendspeed_lat_seconds", "Latency.", []float64{1}).Observe(0.5)
@@ -133,6 +139,7 @@ func TestSnapshot(t *testing.T) {
 // TestConcurrency is the -race smoke test: hammer one registry from many
 // goroutines through every metric type plus the renderer.
 func TestConcurrency(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	tr := NewTracer(r, 64)
 	var wg sync.WaitGroup

@@ -8,6 +8,7 @@ import (
 )
 
 func TestSpanNesting(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	tr := NewTracer(r, 8)
 	ctx, outer := tr.StartSpan(context.Background(), "core.new")
@@ -37,6 +38,7 @@ func TestSpanNesting(t *testing.T) {
 }
 
 func TestSpanDoubleEnd(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	tr := NewTracer(r, 8)
 	_, sp := tr.StartSpan(context.Background(), "once")
@@ -48,6 +50,7 @@ func TestSpanDoubleEnd(t *testing.T) {
 }
 
 func TestSpanRingEviction(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	tr := NewTracer(r, 3)
 	names := []string{"a", "b", "c", "d", "e"}
@@ -67,6 +70,7 @@ func TestSpanRingEviction(t *testing.T) {
 }
 
 func TestSpansJSON(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	tr := NewTracer(r, 4)
 	_, sp := tr.StartSpan(context.Background(), "estimate")

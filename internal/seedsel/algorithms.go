@@ -95,6 +95,7 @@ type lazyHeap []lazyItem
 
 func (h lazyHeap) Len() int { return len(h) }
 func (h lazyHeap) Less(i, j int) bool {
+	//lint:ignore floateq heap tie-break: exact equality falls through to the road order, an epsilon would break heap ordering
 	if h[i].gain != h[j].gain {
 		return h[i].gain > h[j].gain
 	}
@@ -305,6 +306,7 @@ func (Degree) Select(p *Problem, k int) ([]roadnet.RoadID, error) {
 		cands[s] = cand{road: roadnet.RoadID(s), mass: p.gain(uncovered, roadnet.RoadID(s))}
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		//lint:ignore floateq sort tie-break: exact equality falls through to the road order, an epsilon would break strict weak ordering
 		if cands[i].mass != cands[j].mass {
 			return cands[i].mass > cands[j].mass
 		}
@@ -336,6 +338,7 @@ func (pr PageRank) Select(p *Problem, k int) ([]roadnet.RoadID, error) {
 		return nil, err
 	}
 	d := pr.Damping
+	//lint:ignore floateq exact zero means the Damping field was left unset; apply the default
 	if d == 0 {
 		d = 0.85
 	}
@@ -362,6 +365,7 @@ func (pr PageRank) Select(p *Problem, k int) ([]roadnet.RoadID, error) {
 			next[i] = base
 		}
 		for u := 0; u < n; u++ {
+			//lint:ignore floateq exact zero means no out-edges: out-weights are sums of non-negative agreements
 			if outW[u] == 0 {
 				// Dangling mass spreads uniformly.
 				share := d * rank[u] / float64(n)
@@ -385,6 +389,7 @@ func (pr PageRank) Select(p *Problem, k int) ([]roadnet.RoadID, error) {
 		cands[i] = cand{road: roadnet.RoadID(i), r: rank[i]}
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		//lint:ignore floateq sort tie-break: exact equality falls through to the road order, an epsilon would break strict weak ordering
 		if cands[i].r != cands[j].r {
 			return cands[i].r > cands[j].r
 		}

@@ -115,6 +115,7 @@ func NewProblem(g *corr.Graph, weights []float64, cfg Config) (*Problem, error) 
 					if f < cfg.MinInfluence {
 						continue
 					}
+					//lint:ignore floateq exact zero marks an unvisited node; reachable influences are at least MinInfluence > 0
 					if best[e.To] == 0 {
 						touched = append(touched, e.To)
 						hops[e.To] = hops[u] + 1

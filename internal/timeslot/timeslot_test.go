@@ -8,6 +8,7 @@ import (
 var epoch = time.Date(2016, 3, 7, 5, 13, 0, 0, time.UTC) // a Monday, mid-morning
 
 func TestNewCalendarValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewCalendar(epoch, 0); err == nil {
 		t.Error("width 0 should be rejected")
 	}
@@ -23,6 +24,7 @@ func TestNewCalendarValidation(t *testing.T) {
 }
 
 func TestEpochTruncatedToMidnight(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	want := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
 	if !c.Epoch().Equal(want) {
@@ -31,6 +33,7 @@ func TestEpochTruncatedToMidnight(t *testing.T) {
 }
 
 func TestSlotAndStartRoundTrip(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	for s := -5; s < 2000; s += 37 {
 		start := c.Start(s)
@@ -45,6 +48,7 @@ func TestSlotAndStartRoundTrip(t *testing.T) {
 }
 
 func TestSlotsPerDayWeek(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	if c.SlotsPerDay() != 144 {
 		t.Errorf("SlotsPerDay = %d, want 144", c.SlotsPerDay())
@@ -55,6 +59,7 @@ func TestSlotsPerDayWeek(t *testing.T) {
 }
 
 func TestSlotOfDayAndWeek(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	// Slot 0 begins at midnight Monday.
 	if c.SlotOfDay(0) != 0 || c.SlotOfWeek(0) != 0 {
@@ -77,6 +82,7 @@ func TestSlotOfDayAndWeek(t *testing.T) {
 }
 
 func TestDayOfSlot(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	cases := []struct{ slot, day int }{
 		{0, 0}, {143, 0}, {144, 1}, {287, 1}, {288, 2}, {-1, -1}, {-144, -1}, {-145, -2},
@@ -89,6 +95,7 @@ func TestDayOfSlot(t *testing.T) {
 }
 
 func TestHourOfSlot(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	if got := c.HourOfSlot(0); got != 0 {
 		t.Errorf("HourOfSlot(0) = %d", got)
@@ -104,6 +111,7 @@ func TestHourOfSlot(t *testing.T) {
 }
 
 func TestPeakClassification(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	at := func(day, hour, min int) int {
 		return c.Slot(time.Date(2016, 3, 7+day, hour, min, 0, 0, time.UTC))
@@ -130,12 +138,14 @@ func TestPeakClassification(t *testing.T) {
 }
 
 func TestPeakString(t *testing.T) {
+	t.Parallel()
 	if OffPeak.String() != "off-peak" || MorningPeak.String() != "morning-peak" || EveningPeak.String() != "evening-peak" {
 		t.Error("PeakKind.String wrong")
 	}
 }
 
 func TestRange(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	from := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
 	to := from.Add(time.Hour)
@@ -156,6 +166,7 @@ func TestRange(t *testing.T) {
 }
 
 func TestNegativeSlots(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	before := c.Epoch().Add(-5 * time.Minute)
 	if got := c.Slot(before); got != -1 {
@@ -172,6 +183,7 @@ func TestNegativeSlots(t *testing.T) {
 }
 
 func TestProfileClass(t *testing.T) {
+	t.Parallel()
 	c := MustCalendar(epoch, 10*time.Minute)
 	if c.NumProfileClasses() != 288 {
 		t.Errorf("NumProfileClasses = %d, want 288", c.NumProfileClasses())
