@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -58,6 +59,8 @@ func main() {
 		shutdownTTL = flag.Duration("shutdown-timeout", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 		rebuildTTL  = flag.Duration("rebuild-every", 0, "rebuild the model on this interval when observations are buffered (0 disables the timer)")
 		rebuildObs  = flag.Int("rebuild-min-obs", 0, "rebuild as soon as this many observations are buffered (0 disables the count trigger)")
+		estTimeout  = flag.Duration("estimate-timeout", 10*time.Second, "per-request inference deadline on /v1/estimate and /v1/map; expiry cancels the round and answers 503 (0 disables)")
+		maxEst      = flag.Int("max-inflight-estimates", 2*runtime.GOMAXPROCS(0), "max concurrent estimation rounds before excess requests are shed with 429 (0 disables admission control)")
 	)
 	flag.Parse()
 
@@ -105,15 +108,30 @@ func main() {
 		log.Printf("background rebuilds armed (every %v, min %d observations)", *rebuildTTL, *rebuildObs)
 	}
 
-	srv, err := api.NewServerWith(store, api.Config{Metrics: *metrics})
+	srv, err := api.NewServerWith(store, api.Config{
+		Metrics:              *metrics,
+		MaxInflightEstimates: *maxEst,
+		EstimateTimeout:      *estTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *maxEst > 0 {
+		log.Printf("admission control: %d in-flight estimates, %v request deadline", *maxEst, *estTimeout)
 	}
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      srv,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 60 * time.Second,
+		// Slowloris hardening. ReadHeaderTimeout bounds how long a connection
+		// may dribble its header bytes before we hang up: 5s is generous for
+		// any real client yet frees a parked socket quickly. IdleTimeout caps
+		// keep-alive parking between requests at 120s — long enough for
+		// polling clients to reuse connections, short enough that abandoned
+		// sockets don't accumulate for the kernel-default hours.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	var debugSrv *http.Server
@@ -122,8 +140,12 @@ func main() {
 			Addr:    *debugAddr,
 			Handler: api.DebugMux(),
 			// No WriteTimeout: pprof profile/trace endpoints stream for their
-			// ?seconds= duration.
-			ReadTimeout: 10 * time.Second,
+			// ?seconds= duration. Header and idle timeouts match the main
+			// server — the debug listener is private but not unreachable, and
+			// a slowloris there starves the same file-descriptor budget.
+			ReadTimeout:       10 * time.Second,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       120 * time.Second,
 		}
 		go func() {
 			log.Printf("debug endpoints on %s", *debugAddr)

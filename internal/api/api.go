@@ -31,9 +31,24 @@
 // and cached entries for superseded model versions are dropped the moment
 // a rebuild swaps, so /v1/seeds can never serve seeds computed against a
 // stale model.
+//
+// # Deadlines and load shedding
+//
+// Every request's context is threaded into the inference it triggers, so a
+// disconnected client (or an expired per-request deadline, Config.
+// EstimateTimeout) cancels BP message rounds mid-flight instead of running
+// them to completion for nobody. The estimate path (/v1/estimate, /v1/map)
+// additionally passes an admission semaphore (Config.MaxInflightEstimates):
+// a request that finds it full waits at most Config.EstimateAdmitWait and is
+// then shed with 429 + Retry-After — admission control *before* the
+// expensive work, so overload degrades into fast, explicit rejections
+// rather than a growing convoy of slow successes. Deadline expiry
+// mid-inference answers 503 + Retry-After; a client that went away answers
+// the nginx-convention 499 (nobody reads it, but the metrics stay honest).
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -51,6 +66,30 @@ import (
 	"repro/internal/render"
 	"repro/internal/roadnet"
 )
+
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the caller disconnected before the response was ready. No body
+// reaches anyone; the value exists so the request counters separate
+// abandoned requests from real 4xx/5xx.
+const statusClientClosedRequest = 499
+
+// Request-body ceilings. Both decode paths hard-cap the body before the JSON
+// decoder sees it (http.MaxBytesReader), answering 413 past the limit:
+// an unbounded decode would let one client OOM the server with a single
+// request. Estimates carry at most one report per road (~tens of bytes
+// each), so 1 MiB covers city-scale seed sets with two orders of magnitude
+// of slack; ingestion batches are bulk data and get 8 MiB.
+const (
+	maxEstimateBody     = 1 << 20
+	maxObservationsBody = 8 << 20
+)
+
+// defaultAdmitWait bounds how long a request may wait for admission when the
+// estimate semaphore is full. Long enough to absorb a momentary burst
+// (rounds on city graphs run tens of milliseconds), short enough that a
+// genuinely overloaded server sheds within one client RTT instead of
+// building a queue.
+const defaultAdmitWait = 10 * time.Millisecond
 
 // seedCacheMax bounds the seed cache: each entry can hold thousands of
 // road IDs and retrains the seed model to produce, so an unbounded map is
@@ -76,12 +115,31 @@ type Config struct {
 	// Debug mounts /debug/pprof/*, /debug/vars and /debug/trace on the main
 	// handler. Prefer a separate listener (DebugMux) on shared networks.
 	Debug bool
+
+	// MaxInflightEstimates bounds concurrent estimation rounds across
+	// /v1/estimate and /v1/map; excess requests wait EstimateAdmitWait for a
+	// slot and are then shed with 429 + Retry-After. 0 disables admission
+	// control (every request runs immediately).
+	MaxInflightEstimates int
+	// EstimateTimeout is the per-request inference deadline on the estimate
+	// path; a round still running when it expires is cancelled and answered
+	// with 503 + Retry-After. 0 means no deadline beyond the client's own.
+	EstimateTimeout time.Duration
+	// EstimateAdmitWait overrides how long a request may wait for an
+	// admission slot before being shed; 0 means defaultAdmitWait.
+	EstimateAdmitWait time.Duration
 }
 
 // Server wires a model store into an http.Handler.
 type Server struct {
 	store *core.Store
 	mux   *http.ServeMux
+
+	// estSem is the estimate-path admission semaphore (nil = unbounded):
+	// a buffered channel whose capacity is Config.MaxInflightEstimates.
+	estSem     chan struct{}
+	admitWait  time.Duration
+	estTimeout time.Duration
 
 	// mu guards only the cache bookkeeping below; it is never held across
 	// seed selection, so one slow /v1/seeds cannot serialize the API.
@@ -119,9 +177,17 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 	s := &Server{
 		store:        store,
 		mux:          http.NewServeMux(),
+		admitWait:    cfg.EstimateAdmitWait,
+		estTimeout:   cfg.EstimateTimeout,
 		seedCache:    map[seedKey][]roadnet.RoadID{},
 		seedInflight: map[seedKey]*seedCall{},
 		seedVersion:  store.Model().Version(),
+	}
+	if s.admitWait <= 0 {
+		s.admitWait = defaultAdmitWait
+	}
+	if cfg.MaxInflightEstimates > 0 {
+		s.estSem = make(chan struct{}, cfg.MaxInflightEstimates)
 	}
 	// Drop seed sets selected against superseded models as soon as a
 	// rebuild swaps; lookups are version-keyed anyway, so this is purely
@@ -132,9 +198,9 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 	s.handle("GET", "/v1/model", s.handleModel)
 	s.handle("GET", "/v1/seeds", s.handleSeeds)
 	s.handle("GET", "/v1/roads/{id}", s.handleRoad)
-	s.handle("POST", "/v1/estimate", s.handleEstimate)
+	s.handle("POST", "/v1/estimate", s.gated("/v1/estimate", s.handleEstimate))
 	s.handle("POST", "/v1/observations", s.handleObservations)
-	s.handle("POST", "/v1/map", s.handleMap)
+	s.handle("POST", "/v1/map", s.gated("/v1/map", s.handleMap))
 	if cfg.Metrics {
 		s.handle("GET", "/metrics", handleMetrics)
 	}
@@ -148,6 +214,58 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 // URL) is the route label, keeping metric cardinality bounded.
 func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(method+" "+pattern, instrument(pattern, h))
+}
+
+// Admission-control observability for the estimate path.
+var (
+	apiShed = func(route string) *obs.Counter {
+		return obs.Default().Counter("trendspeed_api_shed_total",
+			"Estimate-path requests shed with 429 because the in-flight semaphore stayed full past the admission wait, by route.",
+			"route", route)
+	}
+	apiInflightWaits = obs.Default().Counter("trendspeed_api_inflight_waits",
+		"Estimate-path requests that found the admission semaphore full and waited (whether later admitted or shed).")
+)
+
+// gated wraps an estimate-path handler with admission control and the
+// per-request inference deadline. Shedding happens *before* any body is read
+// or inference starts: when the semaphore is full the request waits at most
+// admitWait for a slot, then answers 429 with Retry-After. The semaphore is
+// released on the handler's return — the instrumentation middleware's panic
+// recovery is outside this wrapper, so even a panicking round frees its
+// slot via the deferred receive during the unwind.
+func (s *Server) gated(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.estSem != nil {
+			select {
+			case s.estSem <- struct{}{}:
+			default:
+				apiInflightWaits.Inc()
+				wait := time.NewTimer(s.admitWait)
+				select {
+				case s.estSem <- struct{}{}:
+					wait.Stop()
+				case <-wait.C:
+					apiShed(route).Inc()
+					w.Header().Set("Retry-After", "1")
+					writeErr(w, http.StatusTooManyRequests,
+						"server at capacity: %d estimation rounds in flight", cap(s.estSem))
+					return
+				case <-r.Context().Done():
+					wait.Stop()
+					writeErr(w, statusClientClosedRequest, "client went away while queued for admission")
+					return
+				}
+			}
+			defer func() { <-s.estSem }()
+		}
+		if s.estTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.estTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
 }
 
 // HTTP observability families (see internal/obs for the naming scheme).
@@ -293,6 +411,41 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// decodeStrict decodes exactly one JSON value from at most limit bytes of
+// r.Body into v, writing the error response itself on failure. Oversized
+// bodies answer 413 (the caller should split the batch, not retry it);
+// malformed JSON, unknown fields and trailing data after the value answer
+// 400. The limit is enforced by http.MaxBytesReader, which also closes the
+// connection on overflow so the server never drains the remainder.
+func decodeStrict(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	tooLarge := func(err error) bool {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return true
+		}
+		return false
+	}
+	if err := dec.Decode(v); err != nil {
+		if !tooLarge(err) {
+			writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		}
+		return false
+	}
+	// Exactly one value per request: trailing garbage after the document is
+	// a malformed (or concatenated) payload, not data to ignore.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		if !tooLarge(err) {
+			writeErr(w, http.StatusBadRequest, "unexpected data after JSON body")
+		}
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -370,9 +523,17 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "k must be an integer in [1, %d]", m.Net().NumRoads())
 		return
 	}
-	seeds, err := s.seedsFor(m, k)
+	seeds, err := s.seedsFor(r.Context(), m, k)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "seed selection failed: %v", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "seed selection timed out: %v", err)
+		case errors.Is(err, context.Canceled):
+			writeErr(w, statusClientClosedRequest, "seed selection abandoned: %v", err)
+		default:
+			writeErr(w, http.StatusInternalServerError, "seed selection failed: %v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, seedsResponse{
@@ -391,26 +552,45 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 // for different keys proceed in parallel (the seed-selection Problem is
 // read-only during Select, and the model publishes the retrained seed
 // model atomically).
-func (s *Server) seedsFor(m *core.Model, k int) ([]roadnet.RoadID, error) {
+//
+// The shared selection runs under the *initiating* request's context. Two
+// cancellation cases follow. A waiter whose own ctx dies stops waiting and
+// returns, leaving the selection running for the others. And when the
+// initiator disconnects mid-selection it takes the shared run down with it —
+// any still-live waiter then retries the loop, finding the cache, a newer
+// in-flight call, or becoming the fresh initiator itself, so one impatient
+// client can never poison the result for patient ones.
+func (s *Server) seedsFor(ctx context.Context, m *core.Model, k int) ([]roadnet.RoadID, error) {
 	key := seedKey{k: k, version: m.Version()}
-	s.mu.Lock()
-	if seeds, ok := s.seedCache[key]; ok {
-		s.mu.Unlock()
-		seedCacheHits.Inc()
-		return seeds, nil
-	}
-	if c, ok := s.seedInflight[key]; ok {
-		s.mu.Unlock()
-		seedSingleflightWaits.Inc()
-		<-c.done
-		return c.seeds, c.err
+	for {
+		s.mu.Lock()
+		if seeds, ok := s.seedCache[key]; ok {
+			s.mu.Unlock()
+			seedCacheHits.Inc()
+			return seeds, nil
+		}
+		if c, ok := s.seedInflight[key]; ok {
+			s.mu.Unlock()
+			seedSingleflightWaits.Inc()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err != nil && ctx.Err() == nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				continue // the initiator's ctx died, not ours: retry
+			}
+			return c.seeds, c.err
+		}
+		break
 	}
 	c := &seedCall{done: make(chan struct{})}
 	s.seedInflight[key] = c
 	s.mu.Unlock()
 
 	seedCacheMisses.Inc()
-	c.seeds, c.err = s.store.SelectSeedsOn(m, k)
+	c.seeds, c.err = s.store.SelectSeedsOnCtx(ctx, m, k)
 	if s.onSeedSelected != nil {
 		s.onSeedSelected()
 	}
@@ -579,10 +759,7 @@ type estimateResult struct {
 // error response itself on failure.
 func (s *Server) runEstimate(w http.ResponseWriter, r *http.Request) (estimateResult, bool) {
 	var req estimateRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !decodeStrict(w, r, maxEstimateBody, &req) {
 		return estimateResult{}, false
 	}
 	if len(req.Reports) == 0 {
@@ -599,12 +776,17 @@ func (s *Server) runEstimate(w http.ResponseWriter, r *http.Request) (estimateRe
 		}
 		seedSpeeds[rep.Road] = rep.Speed
 	}
-	// Store.Estimate resolves the published model with one atomic load, so
-	// the whole round — and the model_version it reports — is coherent even
-	// when a rebuild swaps mid-request.
-	res, err := s.store.Estimate(req.Slot, seedSpeeds)
+	// EstimateCtx resolves the published model with one atomic load, so the
+	// whole round — and the model_version it reports — is coherent even when
+	// a rebuild swaps mid-request; the request context cancels BP rounds the
+	// moment the client disconnects or the deadline set by gated expires.
+	res, err := s.store.EstimateCtx(r.Context(), req.Slot, seedSpeeds)
 	if err != nil {
-		writeErr(w, estimateStatus(err), "estimation failed: %v", err)
+		status := estimateStatus(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, status, "estimation failed: %v", err)
 		return estimateResult{}, false
 	}
 	return estimateResult{Estimate: res, seeded: len(seedSpeeds)}, true
@@ -636,10 +818,7 @@ type observationsResponse struct {
 // lets the client reason about).
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	var req observationsRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !decodeStrict(w, r, maxObservationsBody, &req) {
 		return
 	}
 	if len(req.Observations) == 0 {
@@ -663,12 +842,20 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 }
 
 // estimateStatus classifies an Estimate error: bad request input is the
-// caller's fault (400); anything else is an internal inference failure
-// (500), so operators can alert on the 5xx class without chasing client
-// noise.
+// caller's fault (400); a deadline that expired mid-inference means the
+// server is momentarily too slow for the configured budget, not broken
+// (503, with Retry-After set by the caller); a client that disconnected
+// mid-round gets the nginx-convention 499 nobody will read. Anything else
+// is an internal inference failure (500), so operators can alert on the
+// 5xx class without chasing client noise.
 func estimateStatus(err error) int {
-	if errors.Is(err, core.ErrInvalidInput) {
+	switch {
+	case errors.Is(err, core.ErrInvalidInput):
 		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	}
 	return http.StatusInternalServerError
 }

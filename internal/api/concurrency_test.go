@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -88,7 +89,7 @@ func TestSeedSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			seeds, err := srv.seedsFor(m, k)
+			seeds, err := srv.seedsFor(context.Background(), m, k)
 			if err != nil {
 				t.Errorf("seedsFor: %v", err)
 				return
@@ -170,6 +171,12 @@ func TestEstimateStatus(t *testing.T) {
 	}
 	if got := estimateStatus(errors.New("solver exploded")); got != http.StatusInternalServerError {
 		t.Errorf("internal failure → %d, want 500", got)
+	}
+	if got := estimateStatus(fmt.Errorf("round: %w", context.DeadlineExceeded)); got != http.StatusServiceUnavailable {
+		t.Errorf("deadline exceeded → %d, want 503", got)
+	}
+	if got := estimateStatus(fmt.Errorf("round: %w", context.Canceled)); got != statusClientClosedRequest {
+		t.Errorf("client cancel → %d, want 499", got)
 	}
 }
 

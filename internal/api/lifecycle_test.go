@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -181,7 +182,7 @@ func TestSeedCacheVersioned(t *testing.T) {
 	_, srv, d, st := newLifecycleServer(t)
 	const k = 4
 	m1 := st.Model()
-	if _, err := srv.seedsFor(m1, k); err != nil {
+	if _, err := srv.seedsFor(context.Background(), m1, k); err != nil {
 		t.Fatal(err)
 	}
 	missesBefore := seedCacheMisses.Value()
@@ -195,7 +196,7 @@ func TestSeedCacheVersioned(t *testing.T) {
 	if m2.Version() == m1.Version() {
 		t.Fatal("rebuild did not bump the version")
 	}
-	if _, err := srv.seedsFor(m2, k); err != nil {
+	if _, err := srv.seedsFor(context.Background(), m2, k); err != nil {
 		t.Fatal(err)
 	}
 	if got := seedCacheMisses.Value() - missesBefore; got != 1 {

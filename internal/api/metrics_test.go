@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -125,7 +126,7 @@ func TestSeedCacheBounded(t *testing.T) {
 	}
 	m := st.Model()
 	for k := 1; k <= seedCacheMax+2; k++ {
-		if _, err := srv.seedsFor(m, k); err != nil {
+		if _, err := srv.seedsFor(context.Background(), m, k); err != nil {
 			t.Fatalf("seedsFor(%d): %v", k, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -27,7 +28,7 @@ func TestSeedCacheNoStaleReinsertAfterSwap(t *testing.T) {
 		}
 		swapped = true
 	}
-	seeds, err := srv.seedsFor(m1, 3)
+	seeds, err := srv.seedsFor(context.Background(), m1, 3)
 	srv.onSeedSelected = nil
 	if err != nil {
 		t.Fatalf("seedsFor: %v", err)
@@ -85,7 +86,7 @@ func TestSeedCacheSwapRace(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2; i++ {
 				m := st.Model()
-				if _, err := srv.seedsFor(m, k); err != nil {
+				if _, err := srv.seedsFor(context.Background(), m, k); err != nil {
 					t.Errorf("seedsFor(k=%d): %v", k, err)
 					return
 				}

@@ -49,18 +49,29 @@ var (
 	}
 	estimateRounds = obs.Default().Counter("trendspeed_core_estimate_rounds_total",
 		"Completed estimation rounds.")
+	estimateCanceled = obs.Default().Counter("trendspeed_estimate_canceled_total",
+		"Estimation rounds abandoned because the caller's context was cancelled or its deadline expired.")
 )
 
-// timeStage runs fn as a traced, metered build stage.
+// timeStage runs fn as a traced, metered build stage. A context already
+// cancelled at the stage boundary short-circuits before the stage's span is
+// started, so cancellation never leaves a span open.
 func timeStage(ctx context.Context, stage string, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	_, sp := obs.StartSpan(ctx, stage)
 	err := fn()
 	stageSeconds(stage).Observe(sp.End().Seconds())
 	return err
 }
 
-// timePhase runs fn as a traced, metered estimation-round phase.
+// timePhase runs fn as a traced, metered estimation-round phase, with the
+// same cancel-before-span short-circuit as timeStage.
 func timePhase(ctx context.Context, phase string, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	_, sp := obs.StartSpan(ctx, phase)
 	err := fn()
 	estimateSeconds(phase).Observe(sp.End().Seconds())

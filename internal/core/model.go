@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -70,12 +71,13 @@ type Model struct {
 // fresh wrap it in a Store (NewStore), which rebuilds successor versions
 // from ingested observations and hot-swaps them.
 func New(net *roadnet.Network, db *history.DB, opts Options) (*Model, error) {
-	return build(net, db, opts, 1)
+	return build(context.Background(), net, db, opts, 1)
 }
 
-// build is New with an explicit version stamp; the Store uses it to mint
-// successor models.
-func build(net *roadnet.Network, db *history.DB, opts Options, version uint64) (*Model, error) {
+// build is New with an explicit version stamp and a context; the Store uses
+// it to mint successor models under its lifetime context, so Close aborts an
+// in-flight rebuild at the next stage boundary (via timeStage's ctx check).
+func build(ctx context.Context, net *roadnet.Network, db *history.DB, opts Options, version uint64) (*Model, error) {
 	if net == nil || db == nil {
 		return nil, fmt.Errorf("core: network and history are required")
 	}
@@ -83,7 +85,7 @@ func build(net *roadnet.Network, db *history.DB, opts Options, version uint64) (
 		return nil, fmt.Errorf("core: network has %d roads, history covers %d", net.NumRoads(), db.NumRoads())
 	}
 	start := time.Now()
-	ctx, buildSpan := obs.StartSpan(context.Background(), "core.new")
+	ctx, buildSpan := obs.StartSpan(ctx, "core.new")
 	defer buildSpan.End()
 	var graph *corr.Graph
 	if err := timeStage(ctx, "corr_build", func() (err error) {
@@ -193,11 +195,29 @@ func (m *Model) Problem() *seedsel.Problem { return m.problem }
 // SelectSeeds chooses k seed roads with the configured selector and
 // prepares the seed-conditional inference model for them.
 func (m *Model) SelectSeeds(k int) ([]roadnet.RoadID, error) {
-	seeds, err := m.selector.Select(m.problem, k)
+	return m.SelectSeedsCtx(context.Background(), k)
+}
+
+// SelectSeedsCtx is SelectSeeds bounded by ctx: selectors implementing
+// seedsel.ContextSelector stop between marginal-gain evaluations once ctx is
+// cancelled, and the seed-conditional specialization is skipped entirely.
+// Plain selectors run to completion; ctx is still honoured at the stage
+// boundaries around them.
+func (m *Model) SelectSeedsCtx(ctx context.Context, k int) ([]roadnet.RoadID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var seeds []roadnet.RoadID
+	var err error
+	if cs, ok := m.selector.(seedsel.ContextSelector); ok {
+		seeds, err = cs.SelectCtx(ctx, m.problem, k)
+	} else {
+		seeds, err = m.selector.Select(m.problem, k)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Prepare(seeds); err != nil {
+	if err := m.PrepareCtx(ctx, seeds); err != nil {
 		return nil, err
 	}
 	return seeds, nil
@@ -214,13 +234,20 @@ func (m *Model) SelectSeeds(k int) ([]roadnet.RoadID, error) {
 // Concurrent Prepare calls are individually safe and last-write-wins,
 // matching the "model of the last Prepare'd seed set" contract.
 func (m *Model) Prepare(seeds []roadnet.RoadID) error {
+	return m.PrepareCtx(context.Background(), seeds)
+}
+
+// PrepareCtx is Prepare bounded by ctx, checked at the specialization stage
+// boundary. A cancelled Prepare publishes nothing: the previous snapshot
+// stays live.
+func (m *Model) PrepareCtx(ctx context.Context, seeds []roadnet.RoadID) error {
 	for _, s := range seeds {
 		if int(s) < 0 || int(s) >= m.net.NumRoads() {
 			return fmt.Errorf("core: seed road %d out of range [0,%d): %w", s, m.net.NumRoads(), ErrInvalidInput)
 		}
 	}
 	var sm *hlm.SeedModel
-	if err := timeStage(context.Background(), "seed_specialize", func() (err error) {
+	if err := timeStage(ctx, "seed_specialize", func() (err error) {
 		sm, err = m.hlm.Specialize(m.db, seeds, m.seedCandidates(seeds), m.special)
 		return err
 	}); err != nil {
@@ -330,16 +357,34 @@ type EstimateOptions struct {
 // speeds (absolute, m/s). Seeds with no historical mean are ignored — their
 // relative speed is undefined.
 func (m *Model) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
-	return m.EstimateWith(slot, seedSpeeds, EstimateOptions{})
+	return m.EstimateCtx(context.Background(), slot, seedSpeeds)
+}
+
+// EstimateCtx is Estimate bounded by ctx: cancellation or deadline expiry is
+// observed between phases and between BP message rounds inside the trend
+// phase, aborting the round with an error satisfying errors.Is against the
+// context's error. Serving layers thread each request's context here so a
+// disconnected client stops paying for inference it will never read.
+func (m *Model) EstimateCtx(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
+	return m.EstimateWithCtx(ctx, slot, seedSpeeds, EstimateOptions{})
 }
 
 // EstimateWith is Estimate with per-call overrides.
 func (m *Model) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
-	ctx, roundSpan := obs.StartSpan(context.Background(), "core.estimate")
+	return m.EstimateWithCtx(context.Background(), slot, seedSpeeds, opts)
+}
+
+// EstimateWithCtx is EstimateCtx with per-call overrides. The round span
+// nests under any span already on ctx and is ended on every path, including
+// cancellation.
+func (m *Model) EstimateWithCtx(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
+	ctx, roundSpan := obs.StartSpan(ctx, "core.estimate")
 	out, err := m.estimateWith(ctx, slot, seedSpeeds, opts)
 	estimateSeconds("total").Observe(roundSpan.End().Seconds())
 	if err == nil {
 		estimateRounds.Inc()
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		estimateCanceled.Inc()
 	}
 	return out, err
 }
@@ -434,7 +479,7 @@ func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadn
 		if engine == nil {
 			engine = m.engine
 		}
-		trends, err = engine.Infer(model, nil)
+		trends, err = engine.Infer(ctx, model, nil)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: trend inference: %w", err)
@@ -500,9 +545,14 @@ func (m *Model) estimateRels(req *hlm.Request, seedModel *hlm.SeedModel, noSeedM
 // EstimateFromCrowd converts raw crowd reports into the seed-speed map and
 // runs Estimate; the convenience used by the real-time loop.
 func (m *Model) EstimateFromCrowd(slot int, reports []crowd.Report) (*Estimate, error) {
+	return m.EstimateFromCrowdCtx(context.Background(), slot, reports)
+}
+
+// EstimateFromCrowdCtx is EstimateFromCrowd bounded by ctx.
+func (m *Model) EstimateFromCrowdCtx(ctx context.Context, slot int, reports []crowd.Report) (*Estimate, error) {
 	seeds := make(map[roadnet.RoadID]float64, len(reports))
 	for _, r := range reports {
 		seeds[r.Road] = r.Speed
 	}
-	return m.Estimate(slot, seeds)
+	return m.EstimateCtx(ctx, slot, seeds)
 }

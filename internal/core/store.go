@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -82,6 +84,12 @@ type Store struct {
 	// Close drains an in-flight one by acquiring it.
 	rebuildMu sync.Mutex
 
+	// lifetime is cancelled by Close; every rebuild runs under a context
+	// joined to it, so shutdown aborts an in-flight retrain at its next
+	// stage boundary instead of waiting out the full build.
+	lifetime context.Context
+	cancel   context.CancelFunc
+
 	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
@@ -89,15 +97,18 @@ type Store struct {
 
 // NewStore trains the version-1 model and returns a store publishing it.
 func NewStore(net *roadnet.Network, db *history.DB, opts Options) (*Store, error) {
-	m, err := build(net, db, opts, 1)
+	m, err := build(context.Background(), net, db, opts, 1)
 	if err != nil {
 		return nil, err
 	}
+	lifetime, cancel := context.WithCancel(context.Background())
 	s := &Store{
-		opts: opts,
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		opts:     opts,
+		lifetime: lifetime,
+		cancel:   cancel,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	s.version.Store(m.Version())
 	s.cur.Store(m)
@@ -115,15 +126,31 @@ func (s *Store) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*Esti
 	return s.cur.Load().Estimate(slot, seedSpeeds)
 }
 
+// EstimateCtx is Estimate bounded by ctx; see Model.EstimateCtx for the
+// cancellation contract.
+func (s *Store) EstimateCtx(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
+	return s.cur.Load().EstimateCtx(ctx, slot, seedSpeeds)
+}
+
 // EstimateWith is Estimate with per-call overrides.
 func (s *Store) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
 	return s.cur.Load().EstimateWith(slot, seedSpeeds, opts)
+}
+
+// EstimateWithCtx is EstimateCtx with per-call overrides.
+func (s *Store) EstimateWithCtx(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
+	return s.cur.Load().EstimateWithCtx(ctx, slot, seedSpeeds, opts)
 }
 
 // EstimateFromCrowd runs one estimation round from raw crowd reports on the
 // currently published model.
 func (s *Store) EstimateFromCrowd(slot int, reports []crowd.Report) (*Estimate, error) {
 	return s.cur.Load().EstimateFromCrowd(slot, reports)
+}
+
+// EstimateFromCrowdCtx is EstimateFromCrowd bounded by ctx.
+func (s *Store) EstimateFromCrowdCtx(ctx context.Context, slot int, reports []crowd.Report) (*Estimate, error) {
+	return s.cur.Load().EstimateFromCrowdCtx(ctx, slot, reports)
 }
 
 // SelectSeeds selects k seeds on the currently published model and records
@@ -136,7 +163,13 @@ func (s *Store) SelectSeeds(k int) ([]roadnet.RoadID, error) {
 // layers use it so the seed set and the version they cache it under come
 // from the same model even if a swap lands mid-request.
 func (s *Store) SelectSeedsOn(m *Model, k int) ([]roadnet.RoadID, error) {
-	seeds, err := m.SelectSeeds(k)
+	return s.SelectSeedsOnCtx(context.Background(), m, k)
+}
+
+// SelectSeedsOnCtx is SelectSeedsOn bounded by ctx: a cancelled selection
+// records nothing, so rebuilds keep re-specializing the last complete set.
+func (s *Store) SelectSeedsOnCtx(ctx context.Context, m *Model, k int) ([]roadnet.RoadID, error) {
+	seeds, err := m.SelectSeedsCtx(ctx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -223,12 +256,31 @@ func (s *Store) OnSwap(fn func(old, new *Model)) {
 // the swap lands. On error the old model stays published and the buffered
 // observations are kept for the next attempt.
 func (s *Store) Rebuild() (*Model, error) {
+	return s.RebuildCtx(context.Background())
+}
+
+// RebuildCtx is Rebuild bounded by ctx in addition to the store lifetime:
+// whichever of the two is cancelled first aborts the retrain at its next
+// build-stage boundary. An aborted rebuild publishes nothing — the old model
+// stays live and the buffered observations are kept for the next attempt —
+// and is counted under rebuilds_total{outcome="canceled"}.
+func (s *Store) RebuildCtx(ctx context.Context) (*Model, error) {
+	ctx, cancelJoined := context.WithCancel(ctx)
+	defer cancelJoined()
+	// Join the store lifetime: Close cancels it, which cancels ctx here.
+	stop := context.AfterFunc(s.lifetime, cancelJoined)
+	defer stop()
+
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
 	start := time.Now()
-	m, err := s.rebuild()
+	m, err := s.rebuild(ctx)
 	if err != nil {
-		modelRebuilds("error").Inc()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			modelRebuilds("canceled").Inc()
+		} else {
+			modelRebuilds("error").Inc()
+		}
 		return nil, err
 	}
 	rebuildSeconds.Observe(time.Since(start).Seconds())
@@ -236,7 +288,7 @@ func (s *Store) Rebuild() (*Model, error) {
 	return m, nil
 }
 
-func (s *Store) rebuild() (*Model, error) {
+func (s *Store) rebuild(ctx context.Context) (*Model, error) {
 	s.mu.Lock()
 	pending := append([]Observation(nil), s.buf...)
 	seeds := s.lastSeeds
@@ -255,14 +307,19 @@ func (s *Store) rebuild() (*Model, error) {
 		}
 	}
 	db := builder.Finalize()
-	m, err := build(old.Net(), db, s.opts, s.version.Add(1))
+	m, err := build(ctx, old.Net(), db, s.opts, s.version.Add(1))
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuilding model: %w", err)
 	}
 	if len(seeds) > 0 {
-		if err := m.Prepare(seeds); err != nil {
+		if err := m.PrepareCtx(ctx, seeds); err != nil {
 			return nil, fmt.Errorf("core: re-specializing seed set: %w", err)
 		}
+	}
+	// A cancellation that raced the last stage must not publish: Close has
+	// already begun draining, and the caller asked for the work to stop.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: rebuild aborted before publish: %w", err)
 	}
 
 	// Publish, drop the consumed prefix of the buffer (Ingest only appends,
@@ -322,10 +379,12 @@ func (s *Store) loop(cfg StoreConfig) {
 	}
 }
 
-// Close stops the background loop and drains an in-flight rebuild (whether
-// loop-triggered or a concurrent Rebuild call), so shutdown never kills a
-// retrain halfway through a swap. Ingest fails after Close; the published
-// model remains usable. Close is idempotent.
+// Close stops the background loop, cancels the store lifetime — aborting an
+// in-flight rebuild (whether loop-triggered or a concurrent Rebuild call) at
+// its next build-stage boundary — and then drains it, so shutdown neither
+// kills a retrain halfway through a swap nor waits out a full retrain it no
+// longer wants. Ingest fails after Close; the published model remains
+// usable. Close is idempotent.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -339,6 +398,9 @@ func (s *Store) Close() {
 	s.closed = true
 	started := s.started
 	s.mu.Unlock()
+	// Cancel before draining: an in-flight rebuild observes the cancelled
+	// lifetime at its next stage boundary and unwinds without publishing.
+	s.cancel()
 	if started {
 		close(s.stop)
 		<-s.done

@@ -71,4 +71,45 @@ func suppressed(ctx context.Context) *Span {
 	return sp
 }
 
+// ctxCancelLeak models the cancellation-unaware shape the deadline work
+// forbids: a ctx.Err() early return between StartSpan and a non-deferred End.
+func ctxCancelLeak(ctx context.Context) error {
+	_, sp := StartSpan(ctx, "leak") // want `span sp may leak: a return statement precedes its non-deferred End`
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+// ctxCancelDeferred is the sanctioned shape: check ctx first, then start the
+// span with a deferred End so every cancellation return path still closes it.
+func ctxCancelDeferred(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, sp := StartSpan(ctx, "ok")
+	defer sp.End()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	work()
+	return nil
+}
+
+// ctxSelectDeferred exercises a select-on-Done early return under a deferred
+// End, the pattern used by engines that park waiting for work or cancellation.
+func ctxSelectDeferred(ctx context.Context, ready chan struct{}) error {
+	_, sp := StartSpan(ctx, "ok")
+	defer sp.End()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-ready:
+	}
+	work()
+	return nil
+}
+
 func work() {}

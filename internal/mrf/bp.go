@@ -1,6 +1,7 @@
 package mrf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -104,7 +105,13 @@ func (b *BP) getBuf(size int) []float64 {
 // computed from the previous round's messages only, so the per-node update
 // loop writes disjoint slots and fans out across a worker pool (BPConfig.
 // Workers) without changing the numerical result.
-func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
+//
+// Cancellation is observed between message rounds (and, through par's
+// ctx-aware loops, between chunks inside a round): a cancelled ctx aborts
+// the run with an error wrapping ctx.Err(). The pooled message buffers are
+// returned on every exit path — par joins all workers before reporting
+// cancellation, so no goroutine still writes to them.
+func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error) {
 	ev, err := evidenceMap(m, evidence)
 	if err != nil {
 		return nil, err
@@ -148,7 +155,7 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 	lastDelta := math.Inf(1)
 	damping := b.cfg.Damping
 	for iter := 0; iter < b.cfg.MaxIterations; iter++ {
-		maxDelta := par.ForMax(n, b.cfg.Workers, func(start, end int) float64 {
+		maxDelta, roundErr := par.ForMaxCtx(ctx, n, b.cfg.Workers, func(start, end int) float64 {
 			var localMax float64
 			for u := start; u < end; u++ {
 				lo, hi := int(topo.off[u]), int(topo.off[u+1])
@@ -190,6 +197,9 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 			}
 			return localMax
 		})
+		if roundErr != nil {
+			return nil, fmt.Errorf("mrf: bp cancelled after %d rounds: %w", iter, roundErr)
+		}
 		msg, next = next, msg
 		iters = iter + 1
 		lastDelta = maxDelta
@@ -205,7 +215,7 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 	}
 
 	out := make([]float64, n)
-	par.For(n, b.cfg.Workers, func(start, end int) {
+	readErr := par.ForCtx(ctx, n, b.cfg.Workers, func(start, end int) {
 		for u := start; u < end; u++ {
 			phiUp, phiDown := nodePot(u)
 			logUp, logDown := math.Log(clamp01(phiUp)), math.Log(clamp01(phiDown))
@@ -227,6 +237,9 @@ func (b *BP) Infer(m *Model, evidence []Evidence) (*Result, error) {
 			out[u] = pu / (pu + pd)
 		}
 	})
+	if readErr != nil {
+		return nil, fmt.Errorf("mrf: bp marginal readout cancelled: %w", readErr)
+	}
 	return &Result{PUp: out}, nil
 }
 

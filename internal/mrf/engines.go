@@ -1,12 +1,17 @@
 package mrf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/roadnet"
 )
+
+// cancelCheckMasks is how many joint assignments Exact enumerates between
+// ctx polls; a power of two so the check is a cheap mask test.
+const cancelCheckMasks = 1 << 12
 
 // Exact computes marginals by enumerating every joint assignment of the free
 // (unclamped) nodes. It exists as a correctness oracle for the approximate
@@ -19,8 +24,8 @@ type Exact struct {
 // Name implements Engine.
 func (Exact) Name() string { return "exact" }
 
-// Infer implements Engine.
-func (e Exact) Infer(m *Model, evidence []Evidence) (*Result, error) {
+// Infer implements Engine. ctx is polled every cancelCheckMasks assignments.
+func (e Exact) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error) {
 	maxFree := e.MaxFreeNodes
 	if maxFree == 0 {
 		maxFree = 20
@@ -47,6 +52,11 @@ func (e Exact) Infer(m *Model, evidence []Evidence) (*Result, error) {
 	var z float64
 	g := m.graph
 	for mask := 0; mask < 1<<len(free); mask++ {
+		if mask%cancelCheckMasks == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mrf: exact enumeration interrupted at mask %d: %w", mask, err)
+			}
+		}
 		for bit, node := range free {
 			state[node] = mask&(1<<bit) != 0
 		}
@@ -103,8 +113,8 @@ type ICM struct {
 // Name implements Engine.
 func (ICM) Name() string { return "icm" }
 
-// Infer implements Engine.
-func (ic ICM) Infer(m *Model, evidence []Evidence) (*Result, error) {
+// Infer implements Engine. ctx is polled once per sweep.
+func (ic ICM) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error) {
 	sweeps := ic.MaxSweeps
 	if sweeps == 0 {
 		sweeps = 20
@@ -140,6 +150,9 @@ func (ic ICM) Infer(m *Model, evidence []Evidence) (*Result, error) {
 		return s
 	}
 	for sweep := 0; sweep < sweeps; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mrf: icm interrupted at sweep %d: %w", sweep, err)
+		}
 		changed := false
 		for u := 0; u < n; u++ {
 			if ev[u] != -1 {
@@ -184,8 +197,8 @@ type Gibbs struct {
 // Name implements Engine.
 func (Gibbs) Name() string { return "gibbs" }
 
-// Infer implements Engine.
-func (gb Gibbs) Infer(m *Model, evidence []Evidence) (*Result, error) {
+// Infer implements Engine. ctx is polled once per sweep.
+func (gb Gibbs) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error) {
 	burn, samples := gb.Burn, gb.Samples
 	if burn == 0 {
 		burn = 50
@@ -224,6 +237,9 @@ func (gb Gibbs) Infer(m *Model, evidence []Evidence) (*Result, error) {
 	}
 	upCount := make([]int, n)
 	for sweep := 0; sweep < burn+samples; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mrf: gibbs interrupted at sweep %d: %w", sweep, err)
+		}
 		for u := 0; u < n; u++ {
 			if ev[u] != -1 {
 				continue

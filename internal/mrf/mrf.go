@@ -15,6 +15,7 @@
 package mrf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -124,8 +125,12 @@ func (r *Result) Up(id roadnet.RoadID) bool { return r.PUp[id] >= 0.5 }
 
 // Engine is a trend-inference algorithm.
 type Engine interface {
-	// Infer computes trend marginals given clamped seed evidence.
-	Infer(m *Model, evidence []Evidence) (*Result, error)
+	// Infer computes trend marginals given clamped seed evidence. Engines
+	// observe ctx at their natural work boundaries (BP message rounds,
+	// ICM/Gibbs sweeps, enumeration batches) and return ctx.Err() — possibly
+	// wrapped — once it is cancelled, so an abandoned estimation round stops
+	// burning CPU mid-inference instead of running to completion.
+	Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error)
 	// Name identifies the engine in experiment output.
 	Name() string
 }
@@ -170,8 +175,12 @@ type PriorOnly struct{}
 // Name implements Engine.
 func (PriorOnly) Name() string { return "prior" }
 
-// Infer implements Engine.
-func (PriorOnly) Infer(m *Model, evidence []Evidence) (*Result, error) {
+// Infer implements Engine. The prior readout is a single pass, so ctx is
+// only consulted at entry.
+func (PriorOnly) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ev, err := evidenceMap(m, evidence)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package mrf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -52,7 +53,7 @@ func TestBPMarginalsAreProbabilities(t *testing.T) {
 		if n > 2 {
 			ev = append(ev, Evidence{Road: roadnet.RoadID(rng.Intn(n)), Up: rng.Intn(2) == 0})
 		}
-		res, err := bp.Infer(m, ev)
+		res, err := bp.Infer(context.Background(), m, ev)
 		if err != nil {
 			return false
 		}
@@ -99,11 +100,11 @@ func TestGlobalFlipSymmetry(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			r1, err := eng.Infer(m1, []Evidence{{Road: evRoad, Up: true}})
+			r1, err := eng.Infer(context.Background(), m1, []Evidence{{Road: evRoad, Up: true}})
 			if err != nil {
 				return false
 			}
-			r2, err := eng.Infer(m2, []Evidence{{Road: evRoad, Up: false}})
+			r2, err := eng.Infer(context.Background(), m2, []Evidence{{Road: evRoad, Up: false}})
 			if err != nil {
 				return false
 			}
@@ -144,7 +145,7 @@ func TestTemperLimitsApproachPrior(t *testing.T) {
 	if err := model.SetEdgeTemper(0.01); err != nil {
 		t.Fatal(err)
 	}
-	res, err := bp.Infer(model, ev)
+	res, err := bp.Infer(context.Background(), model, ev)
 	if err != nil {
 		t.Fatal(err)
 	}

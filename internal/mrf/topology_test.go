@@ -1,6 +1,7 @@
 package mrf
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -86,11 +87,11 @@ func TestModelWithTopologyMatchesFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := bp.Infer(fresh, nil)
+	rf, err := bp.Infer(context.Background(), fresh, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := bp.Infer(shared, nil)
+	rs, err := bp.Infer(context.Background(), shared, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func BenchmarkBPInfer(b *testing.B) {
 				if err := m.SetEdgeTemper(0.2); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := bp.Infer(m, nil); err != nil {
+				if _, err := bp.Infer(context.Background(), m, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

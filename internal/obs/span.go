@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +21,12 @@ type SpanRecord struct {
 // up both in /metrics and in the JSON dump at /debug/trace.
 type Tracer struct {
 	reg *Registry
+
+	// started counts StartSpan calls; ended mirrors the ring's total under
+	// its own atomic so leak checks (started == ended once work drains) do
+	// not contend on mu.
+	started atomic.Uint64
+	ended   atomic.Uint64
 
 	mu    sync.Mutex
 	ring  []SpanRecord
@@ -55,6 +62,16 @@ func (t *Tracer) record(rec SpanRecord) {
 	t.next = (t.next + 1) % cap(t.ring)
 	t.total++
 	t.mu.Unlock()
+	t.ended.Add(1)
+}
+
+// Counts returns how many spans were started and ended on this tracer.
+// After all in-flight work has drained the two must agree; cancellation
+// tests use the pair to assert no code path abandoned a span without
+// ending it. started ≥ ended always holds; the difference is the number of
+// spans currently open (or leaked).
+func (t *Tracer) Counts() (started, ended uint64) {
+	return t.started.Load(), t.ended.Load()
 }
 
 // Spans returns the retained spans, oldest first.
@@ -107,6 +124,7 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
 		name = parent.name + "/" + name
 	}
+	t.started.Add(1)
 	s := &Span{tracer: t, name: name, start: time.Now()}
 	return context.WithValue(ctx, spanKey{}, s), s
 }

@@ -90,3 +90,29 @@ func TestSpansJSON(t *testing.T) {
 		t.Errorf("dump = %+v", doc)
 	}
 }
+
+// TestSpanCounts asserts the started/ended pair tracks span lifecycle so
+// cancellation tests can detect leaked (never-ended) spans, and that a double
+// End is not double-counted.
+func TestSpanCounts(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	tr := NewTracer(r, 8)
+	if s, e := tr.Counts(); s != 0 || e != 0 {
+		t.Fatalf("fresh tracer Counts = %d, %d", s, e)
+	}
+	ctx, outer := tr.StartSpan(context.Background(), "stage")
+	_, inner := tr.StartSpan(ctx, "substage")
+	if s, e := tr.Counts(); s != 2 || e != 0 {
+		t.Fatalf("after two starts Counts = %d, %d, want 2, 0", s, e)
+	}
+	inner.End()
+	if s, e := tr.Counts(); s != 2 || e != 1 {
+		t.Fatalf("after one end Counts = %d, %d, want 2, 1", s, e)
+	}
+	outer.End()
+	outer.End() // double End must not double-count
+	if s, e := tr.Counts(); s != 2 || e != 2 {
+		t.Fatalf("after all ends Counts = %d, %d, want 2, 2", s, e)
+	}
+}

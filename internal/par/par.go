@@ -6,11 +6,29 @@
 //
 // Callers must only write to disjoint output indices from within the body;
 // par adds no synchronisation beyond the final join.
+//
+// Two execution families exist:
+//
+//   - For / ForMax: the original fire-and-join loops. A panic in a worker is
+//     recovered, counted, and re-raised as a *PanicError on the calling
+//     goroutine after the join, so a crashing work item surfaces where the
+//     loop was invoked instead of killing the process from an anonymous
+//     goroutine.
+//   - ForCtx / ForMaxCtx: cancellation-aware variants. Work is split finer
+//     than one chunk per worker and claimed from a shared atomic cursor, so
+//     a context cancelled mid-loop stops further dispatch at the next chunk
+//     boundary. Panics are converted to an error on the join path. Both
+//     variants always join every started chunk before returning — even on
+//     cancellation — so callers may recycle buffers immediately.
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -20,9 +38,14 @@ import (
 // toy graphs see dozens, where goroutine fan-out costs more than it saves.
 const SerialCutoff = 256
 
-// Pool observability: how often the hot loops actually fan out, and the
-// fan-out width. Exposed through the obs default registry so benchrunner's
-// -json report captures the parallelism behind each timing.
+// ctxChunksPerWorker oversubscribes the ctx-aware loops so cancellation takes
+// effect at sub-chunk granularity without paying per-index atomic traffic.
+const ctxChunksPerWorker = 4
+
+// Pool observability: how often the hot loops actually fan out, the fan-out
+// width, and recovered worker panics. Exposed through the obs default
+// registry so benchrunner's -json report captures the parallelism behind
+// each timing.
 var (
 	parRuns = func(mode string) *obs.Counter {
 		return obs.Default().Counter("trendspeed_par_runs_total",
@@ -31,7 +54,43 @@ var (
 	}
 	parWorkers = obs.Default().Gauge("trendspeed_par_workers",
 		"Goroutines used by the most recent parallel loop.")
+	parPanics = obs.Default().Counter("trendspeed_par_panics_total",
+		"Panics recovered inside parallel loop bodies and surfaced on the join path.")
 )
+
+// PanicError carries a panic recovered from a loop body across the join: the
+// original panic value plus the stack of the panicking goroutine, which would
+// otherwise be lost when the worker goroutine unwound.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic in loop body: %v", e.Value)
+}
+
+// panicBox captures the first panic observed across a loop's workers. The
+// slot is atomic because ctx-aware workers poll it mid-loop (to stop
+// dispatching after a sibling crashed) while the crashing worker stores it.
+type panicBox struct {
+	p atomic.Pointer[PanicError]
+}
+
+// capture runs body, recording a recovered panic into the box.
+func (b *panicBox) capture(body func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			parPanics.Inc()
+			b.p.CompareAndSwap(nil, &PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	body()
+}
+
+// load returns the first captured panic, or nil.
+func (b *panicBox) load() *PanicError { return b.p.Load() }
 
 // Workers resolves a worker-count knob: values ≤ 0 mean GOMAXPROCS.
 func Workers(n int) int {
@@ -45,6 +104,10 @@ func Workers(n int) int {
 // each chunk concurrently, returning after every chunk completes. workers ≤ 0
 // selects GOMAXPROCS. Inputs below SerialCutoff (or workers == 1) run inline
 // on the calling goroutine.
+//
+// A panic in a fanned-out body is recovered and re-raised on the calling
+// goroutine as a *PanicError once all workers have joined; the inline path
+// lets panics propagate untouched since they already unwind the caller.
 func For(n, workers int, body func(start, end int)) {
 	if n <= 0 {
 		return
@@ -61,6 +124,7 @@ func For(n, workers int, body func(start, end int)) {
 	parRuns("parallel").Inc()
 	parWorkers.Set(float64(workers))
 	chunk := (n + workers - 1) / workers
+	var box panicBox
 	var wg sync.WaitGroup
 	for start := 0; start < n; start += chunk {
 		end := start + chunk
@@ -70,15 +134,19 @@ func For(n, workers int, body func(start, end int)) {
 		wg.Add(1)
 		go func(s, e int) {
 			defer wg.Done()
-			body(s, e)
+			box.capture(func() { body(s, e) })
 		}(start, end)
 	}
 	wg.Wait()
+	if pe := box.load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // ForMax is For with a per-chunk float64 reduction by maximum: each chunk
 // returns its local maximum and ForMax returns the global one. Used by the
 // BP Jacobi round, whose convergence check needs the largest message change.
+// Worker panics surface exactly as in For.
 func ForMax(n, workers int, body func(start, end int) float64) float64 {
 	if n <= 0 {
 		return 0
@@ -96,6 +164,7 @@ func ForMax(n, workers int, body func(start, end int) float64) float64 {
 	chunk := (n + workers - 1) / workers
 	nChunks := (n + chunk - 1) / chunk
 	maxes := make([]float64, nChunks)
+	var box panicBox
 	var wg sync.WaitGroup
 	for i := 0; i < nChunks; i++ {
 		start := i * chunk
@@ -106,10 +175,13 @@ func ForMax(n, workers int, body func(start, end int) float64) float64 {
 		wg.Add(1)
 		go func(idx, s, e int) {
 			defer wg.Done()
-			maxes[idx] = body(s, e)
+			box.capture(func() { maxes[idx] = body(s, e) })
 		}(i, start, end)
 	}
 	wg.Wait()
+	if pe := box.load(); pe != nil {
+		panic(pe)
+	}
 	max := maxes[0]
 	for _, m := range maxes[1:] {
 		if m > max {
@@ -117,4 +189,96 @@ func ForMax(n, workers int, body func(start, end int) float64) float64 {
 		}
 	}
 	return max
+}
+
+// ForCtx is the cancellation-aware For. Chunks are claimed from a shared
+// cursor; once ctx is cancelled no further chunk is dispatched, already
+// running chunks finish, and every worker joins before ForCtx returns.
+// The returned error is ctx.Err() on cancellation, a *PanicError if a body
+// panicked (including on the inline path), or nil.
+//
+// Note ForCtx may return ctx.Err() even when every index was processed (the
+// cancellation raced the final chunk); callers should treat a non-nil error
+// as "results void", never as "results partial but usable".
+func ForCtx(ctx context.Context, n, workers int, body func(start, end int)) error {
+	_, err := forCtx(ctx, n, workers, func(start, end int) float64 {
+		body(start, end)
+		return 0
+	})
+	return err
+}
+
+// ForMaxCtx is the cancellation-aware ForMax. The reduced maximum is only
+// meaningful when the returned error is nil.
+func ForMaxCtx(ctx context.Context, n, workers int, body func(start, end int) float64) (float64, error) {
+	return forCtx(ctx, n, workers, body)
+}
+
+func forCtx(ctx context.Context, n, workers int, body func(start, end int) float64) (float64, error) {
+	if n <= 0 {
+		return 0, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n < SerialCutoff || workers == 1 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		parRuns("serial").Inc()
+		var box panicBox
+		var max float64
+		box.capture(func() { max = body(0, n) })
+		if pe := box.load(); pe != nil {
+			return 0, pe
+		}
+		return max, ctx.Err()
+	}
+	parRuns("parallel").Inc()
+	parWorkers.Set(float64(workers))
+	nChunks := workers * ctxChunksPerWorker
+	if nChunks > n {
+		nChunks = n
+	}
+	chunk := (n + nChunks - 1) / nChunks
+	maxes := make([]float64, workers)
+	var cursor atomic.Int64
+	var box panicBox
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for ctx.Err() == nil && box.load() == nil {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				box.capture(func() {
+					if m := body(start, end); m > maxes[slot] {
+						maxes[slot] = m
+					}
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pe := box.load(); pe != nil {
+		return 0, pe
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	max := maxes[0]
+	for _, m := range maxes[1:] {
+		if m > max {
+			max = m
+		}
+	}
+	return max, nil
 }

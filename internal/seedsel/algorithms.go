@@ -2,6 +2,7 @@ package seedsel
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -32,6 +33,23 @@ type Selector interface {
 	// Name identifies the algorithm in experiment output.
 	Name() string
 }
+
+// ContextSelector is implemented by selectors that can abandon a selection
+// early when the caller's context is cancelled. Selection over a city-scale
+// candidate set is the slowest online operation after a model swap, so
+// serving layers prefer this interface when the selector offers it (see
+// core.Model.SelectSeedsCtx); Select remains the uncancellable fallback.
+type ContextSelector interface {
+	Selector
+	// SelectCtx is Select bounded by ctx: it returns an error wrapping
+	// ctx.Err() once the context is cancelled, checked between marginal-gain
+	// evaluations.
+	SelectCtx(ctx context.Context, p *Problem, k int) ([]roadnet.RoadID, error)
+}
+
+// cancelCheckStride is how many marginal-gain evaluations a ctx-aware
+// selector performs between ctx polls during its initial heap fill.
+const cancelCheckStride = 1 << 10
 
 // Greedy is the plain greedy algorithm: K passes, each evaluating the
 // marginal gain of every remaining candidate. It carries the
@@ -111,7 +129,14 @@ func (h *lazyHeap) ReplaceTop(it lazyItem) {
 }
 
 // Select implements Selector.
-func (Lazy) Select(p *Problem, k int) ([]roadnet.RoadID, error) {
+func (l Lazy) Select(p *Problem, k int) ([]roadnet.RoadID, error) {
+	return l.SelectCtx(context.Background(), p, k)
+}
+
+// SelectCtx implements ContextSelector. Cancellation is polled every
+// cancelCheckStride gains during the initial heap fill and on every heap
+// iteration afterwards; a cancelled run returns no partial seed set.
+func (Lazy) SelectCtx(ctx context.Context, p *Problem, k int) ([]roadnet.RoadID, error) {
 	if err := p.validateK(k); err != nil {
 		return nil, err
 	}
@@ -119,12 +144,20 @@ func (Lazy) Select(p *Problem, k int) ([]roadnet.RoadID, error) {
 	uncovered := p.newUncovered()
 	h := make(lazyHeap, 0, n)
 	for s := 0; s < n; s++ {
+		if s%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("seedsel: lazy greedy cancelled during heap fill: %w", err)
+			}
+		}
 		h = append(h, lazyItem{road: roadnet.RoadID(s), gain: p.gain(uncovered, roadnet.RoadID(s)), round: 0})
 	}
 	heap.Init(&h)
 	seeds := make([]roadnet.RoadID, 0, k)
 	reevals := 0
 	for len(seeds) < k && h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("seedsel: lazy greedy cancelled with %d/%d seeds chosen: %w", len(seeds), k, err)
+		}
 		top := h.Peek()
 		if top.round == len(seeds) {
 			// Gain is fresh for the current selection state; by
