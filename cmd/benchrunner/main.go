@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/lint"
 	"repro/internal/obs"
@@ -44,6 +45,7 @@ type experiment struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrunner: ")
+	obs.RegisterBuildInfo(obs.Default())
 
 	var (
 		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2) or all")
@@ -126,19 +128,24 @@ func main() {
 
 	if *jsonOut != "" {
 		doc := struct {
-			GeneratedAt  string                        `json:"generated_at"`
-			Fast         bool                          `json:"fast"`
-			ModelVersion uint64                        `json:"model_version"`
-			Toolchain    toolchainRecord               `json:"toolchain"`
-			Experiments  []runRecord                   `json:"experiments"`
-			Metrics      map[string]obs.FamilySnapshot `json:"metrics"`
+			GeneratedAt  string          `json:"generated_at"`
+			Fast         bool            `json:"fast"`
+			ModelVersion uint64          `json:"model_version"`
+			Toolchain    toolchainRecord `json:"toolchain"`
+			Experiments  []runRecord     `json:"experiments"`
+			// EstimateLatency carries the HDR quantiles of every estimate
+			// round this run performed, in the same shape loadgen reports
+			// them, so BENCH_*.json files from both tools are comparable.
+			EstimateLatency map[string]float64            `json:"estimate_latency_hdr_seconds"`
+			Metrics         map[string]obs.FamilySnapshot `json:"metrics"`
 		}{
-			GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
-			Fast:         *fast,
-			ModelVersion: ctx.modelVersion(),
-			Toolchain:    toolchainVersions(),
-			Experiments:  runs,
-			Metrics:      obs.Default().Snapshot(),
+			GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+			Fast:            *fast,
+			ModelVersion:    ctx.modelVersion(),
+			Toolchain:       toolchainVersions(),
+			Experiments:     runs,
+			EstimateLatency: core.EstimateLatencyQuantiles(),
+			Metrics:         obs.Default().Snapshot(),
 		}
 		raw, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

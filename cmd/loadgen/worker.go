@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Request outcome classes. Shed (429) and deadline (503) are first-class
+// outcomes, not errors: they are the server's load-shedding working as
+// designed, and the SLO gate judges their *rate*, not their presence.
+const (
+	outcomeOK        = "ok"
+	outcomeShed      = "shed"      // 429: admission control
+	outcomeDeadline  = "deadline"  // 503: inference deadline expired
+	outcomeClientErr = "clientErr" // other 4xx (incl. 499): bad generator output or abandoned request
+	outcomeServerErr = "serverErr" // 5xx
+	outcomeNetErr    = "netErr"    // transport failure or client-side timeout
+)
+
+// slowRequest is one entry of a worker's top-slowest list, carrying the
+// request ID so the operator can grep the server's structured logs and
+// /debug/trace dump for the exact slow round.
+type slowRequest struct {
+	RequestID string  `json:"request_id"`
+	Kind      string  `json:"kind"`
+	Seconds   float64 `json:"seconds"`
+	Status    int     `json:"status"`
+}
+
+const slowestKeep = 5
+
+// opStats accumulates one worker's results for one op kind. Workers are
+// single-goroutine, so plain fields suffice; the HDR histograms exist to be
+// snapshot-merged across workers at report time.
+type opStats struct {
+	latency  *obs.HDRHistogram
+	outcomes map[string]uint64
+	slowest  []slowRequest
+}
+
+func newOpStats() *opStats {
+	return &opStats{
+		latency:  obs.NewHDRHistogram(obs.DefHDRMin, obs.DefHDRMax, obs.DefHDRGrowth),
+		outcomes: map[string]uint64{},
+	}
+}
+
+func (st *opStats) record(rid, kind string, seconds float64, status int, outcome string) {
+	st.outcomes[outcome]++
+	st.latency.Observe(seconds)
+	st.slowest = append(st.slowest, slowRequest{RequestID: rid, Kind: kind, Seconds: seconds, Status: status})
+	sort.Slice(st.slowest, func(i, j int) bool { return st.slowest[i].Seconds > st.slowest[j].Seconds })
+	if len(st.slowest) > slowestKeep {
+		st.slowest = st.slowest[:slowestKeep]
+	}
+}
+
+// worker issues requests from the generator until ctx expires, pacing itself
+// to its share of the target rate.
+type worker struct {
+	id     int
+	runID  string
+	target string
+	client *http.Client
+	gen    *generator
+	rng    *rand.Rand
+
+	// interval is the worker's pacing period (0 = closed loop: issue the
+	// next request as soon as the previous returns).
+	interval time.Duration
+
+	stats map[string]*opStats
+	seq   int
+}
+
+func newWorker(id int, runID, target string, gen *generator, seed int64, interval, timeout time.Duration) *worker {
+	return &worker{
+		id:     id,
+		runID:  runID,
+		target: target,
+		client: &http.Client{Timeout: timeout},
+		gen:    gen,
+		rng:    rand.New(rand.NewSource(seed + int64(id)*7919)),
+		// Jitterless fixed-interval pacing per worker; workers start
+		// staggered in run() so the fleet does not phase-lock.
+		interval: interval,
+		stats:    map[string]*opStats{},
+	}
+}
+
+// run issues requests until ctx expires. In paced (open-loop) mode each
+// request has a *scheduled* start time and latency is measured from the
+// schedule, not from the actual send: a stalled server therefore inflates
+// the recorded latency of the requests queued behind the stall, instead of
+// silently omitting the waiting time (the classic coordinated-omission
+// mistake that makes overloaded systems look fast).
+func (w *worker) run(ctx context.Context) {
+	next := time.Now()
+	if w.interval > 0 {
+		// Random phase within one interval so N workers at rate R don't fire
+		// N-request volleys on a shared beat.
+		next = next.Add(time.Duration(w.rng.Int63n(int64(w.interval))))
+	}
+	for {
+		if w.interval > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		start := next
+		if w.interval == 0 || start.After(time.Now()) {
+			start = time.Now()
+		}
+		w.issue(ctx, w.gen.next(w.rng), start)
+		if w.interval > 0 {
+			next = next.Add(w.interval)
+		}
+	}
+}
+
+// issue sends one request and records its outcome. start is the scheduled
+// start (≤ now in open-loop backlog), the basis of the latency measurement.
+func (w *worker) issue(ctx context.Context, o op, start time.Time) {
+	w.seq++
+	rid := fmt.Sprintf("loadgen-%s-w%02d-%06d", w.runID, w.id, w.seq)
+	st, ok := w.stats[o.kind]
+	if !ok {
+		st = newOpStats()
+		w.stats[o.kind] = st
+	}
+
+	method := http.MethodGet
+	var body io.Reader
+	if o.body != "" {
+		method, body = http.MethodPost, strings.NewReader(o.body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.target+o.path, body)
+	if err != nil {
+		st.record(rid, o.kind, time.Since(start).Seconds(), 0, outcomeNetErr)
+		return
+	}
+	req.Header.Set("X-Request-Id", rid)
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+
+	resp, err := w.client.Do(req)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		// A request cut off by the run deadline is not a server failure;
+		// drop it from accounting entirely rather than counting a transport
+		// error the server never caused.
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return
+		}
+		st.record(rid, o.kind, elapsed, 0, outcomeNetErr)
+		return
+	}
+	// Drain so the connection is reusable; the payload content is not
+	// loadgen's concern (correctness is the API tests' job).
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	st.record(rid, o.kind, elapsed, resp.StatusCode, classify(resp.StatusCode))
+}
+
+func classify(status int) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return outcomeShed
+	case status == http.StatusServiceUnavailable:
+		return outcomeDeadline
+	case status >= 500:
+		return outcomeServerErr
+	case status >= 400:
+		return outcomeClientErr
+	}
+	return outcomeOK
+}

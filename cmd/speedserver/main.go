@@ -20,9 +20,13 @@
 //
 // Observability: -metrics (default true) exposes GET /metrics on the main
 // address; -debug-addr starts a second listener with /metrics, pprof,
-// expvar and the span-trace dump, kept off the public address. On SIGINT or
-// SIGTERM the server drains in-flight requests (up to -shutdown-timeout)
-// and waits for any in-flight model rebuild before exiting.
+// expvar and the span-trace dump, kept off the public address. Per-request
+// structured logs (route, status, duration, request_id) go to stderr;
+// -log-format selects json (machine-shipped, the default) or text
+// (human-tailed). Operator lifecycle messages stay on the plain log writer.
+// On SIGINT or SIGTERM the server drains in-flight requests (up to
+// -shutdown-timeout) and waits for any in-flight model rebuild before
+// exiting.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,8 +66,24 @@ func main() {
 		rebuildObs  = flag.Int("rebuild-min-obs", 0, "rebuild as soon as this many observations are buffered (0 disables the count trigger)")
 		estTimeout  = flag.Duration("estimate-timeout", 10*time.Second, "per-request inference deadline on /v1/estimate and /v1/map; expiry cancels the round and answers 503 (0 disables)")
 		maxEst      = flag.Int("max-inflight-estimates", 2*runtime.GOMAXPROCS(0), "max concurrent estimation rounds before excess requests are shed with 429 (0 disables admission control)")
+		logFormat   = flag.String("log-format", "json", "per-request structured log encoding on stderr: json or text")
+		logLevel    = flag.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = obs.NewLogger(os.Stderr, level)
+	case "text":
+		logger = obs.NewTextLogger(os.Stderr, level)
+	default:
+		log.Fatalf("unknown -log-format %q (want json or text)", *logFormat)
+	}
 
 	var net *roadnet.Network
 	var db *history.DB
@@ -112,6 +133,7 @@ func main() {
 		Metrics:              *metrics,
 		MaxInflightEstimates: *maxEst,
 		EstimateTimeout:      *estTimeout,
+		Logger:               logger,
 	})
 	if err != nil {
 		log.Fatal(err)

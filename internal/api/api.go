@@ -49,11 +49,14 @@ package api
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -128,12 +131,19 @@ type Config struct {
 	// EstimateAdmitWait overrides how long a request may wait for an
 	// admission slot before being shed; 0 means defaultAdmitWait.
 	EstimateAdmitWait time.Duration
+
+	// Logger receives one structured record per request (level by status:
+	// warn ≥ 500, info ≥ 400, debug otherwise) plus shed/deadline events,
+	// each carrying the request_id from the X-Request-Id header. nil
+	// discards everything.
+	Logger *slog.Logger
 }
 
 // Server wires a model store into an http.Handler.
 type Server struct {
 	store *core.Store
 	mux   *http.ServeMux
+	log   *slog.Logger
 
 	// estSem is the estimate-path admission semaphore (nil = unbounded):
 	// a buffered channel whose capacity is Config.MaxInflightEstimates.
@@ -177,15 +187,20 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 	s := &Server{
 		store:        store,
 		mux:          http.NewServeMux(),
+		log:          cfg.Logger,
 		admitWait:    cfg.EstimateAdmitWait,
 		estTimeout:   cfg.EstimateTimeout,
 		seedCache:    map[seedKey][]roadnet.RoadID{},
 		seedInflight: map[seedKey]*seedCall{},
 		seedVersion:  store.Model().Version(),
 	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
 	if s.admitWait <= 0 {
 		s.admitWait = defaultAdmitWait
 	}
+	obs.RegisterBuildInfo(obs.Default())
 	if cfg.MaxInflightEstimates > 0 {
 		s.estSem = make(chan struct{}, cfg.MaxInflightEstimates)
 	}
@@ -213,7 +228,7 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 // handle registers an instrumented route. The pattern (not the concrete
 // URL) is the route label, keeping metric cardinality bounded.
 func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
-	s.mux.HandleFunc(method+" "+pattern, instrument(pattern, h))
+	s.mux.HandleFunc(method+" "+pattern, s.instrument(pattern, h))
 }
 
 // Admission-control observability for the estimate path.
@@ -247,6 +262,10 @@ func (s *Server) gated(route string, h http.HandlerFunc) http.HandlerFunc {
 					wait.Stop()
 				case <-wait.C:
 					apiShed(route).Inc()
+					s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+						slog.String("route", route),
+						slog.Int("max_inflight", cap(s.estSem)),
+						slog.Duration("admit_wait", s.admitWait))
 					w.Header().Set("Retry-After", "1")
 					writeErr(w, http.StatusTooManyRequests,
 						"server at capacity: %d estimation rounds in flight", cap(s.estSem))
@@ -281,6 +300,11 @@ var (
 		return obs.Default().Histogram("trendspeed_http_request_duration_seconds",
 			"HTTP request latency by route pattern.",
 			obs.DefBuckets, "route", route)
+	}
+	httpLatencyHDR = func(route string) *obs.HDRHistogram {
+		return obs.Default().HDRHistogram("trendspeed_http_request_duration_hdr_seconds",
+			"HTTP request latency by route pattern, HDR-bucketed for tail quantiles.",
+			"route", route)
 	}
 	httpPanics = func(route string) *obs.Counter {
 		return obs.Default().Counter("trendspeed_http_panics_total",
@@ -321,14 +345,52 @@ func statusClass(code int) string {
 	}
 }
 
-// instrument wraps a handler with the request counter, latency histogram
-// and in-flight gauge. All updates run in a deferred block so a panicking
-// handler cannot leak the in-flight gauge or drop the request from the
-// counters; the panic itself is recovered into a 500 (counted under the 5xx
-// class) rather than re-raised, keeping one bad request from killing the
+// requestID returns the request's correlation ID: the client-supplied
+// X-Request-Id when it is well-formed (load generators and upstream proxies
+// send one so their records match the server's), otherwise a fresh random
+// hex ID. The validity check keeps attacker-controlled bytes out of logs and
+// keeps the ID header-safe.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id != "" && len(id) <= 64 && validRequestID(id) {
+		return id
+	}
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(raw[:])
+}
+
+func validRequestID(id string) bool {
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// instrument wraps a handler with the request counter, latency histograms
+// and in-flight gauge, and threads the request correlation ID through: the
+// ID is echoed in the X-Request-Id response header, carried in the request
+// context (so spans and s.log records pick it up), and attached to the
+// per-request log line. All metric updates run in a deferred block so a
+// panicking handler cannot leak the in-flight gauge or drop the request from
+// the counters; the panic itself is recovered into a 500 (counted under the
+// 5xx class) rather than re-raised, keeping one bad request from killing the
 // connection's error accounting.
-func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rid := requestID(r)
+		w.Header().Set("X-Request-Id", rid)
+		ctx := obs.WithRequestID(r.Context(), rid)
+		r = r.WithContext(ctx)
+
 		httpInFlight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -347,9 +409,23 @@ func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			if sw.status == 0 {
 				sw.status = http.StatusOK
 			}
+			elapsed := time.Since(start).Seconds()
 			httpInFlight.Dec()
-			httpLatency(route).Observe(time.Since(start).Seconds())
+			httpLatency(route).Observe(elapsed)
+			httpLatencyHDR(route).Observe(elapsed)
 			httpRequests(route, statusClass(sw.status)).Inc()
+			level := slog.LevelDebug
+			switch {
+			case sw.status >= 500:
+				level = slog.LevelWarn
+			case sw.status >= 400:
+				level = slog.LevelInfo
+			}
+			s.log.LogAttrs(ctx, level, "request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("status", sw.status),
+				slog.Float64("duration_seconds", elapsed))
 		}()
 		h(sw, r)
 	}

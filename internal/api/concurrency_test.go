@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -120,7 +121,8 @@ func TestSeedSingleflight(t *testing.T) {
 // middleware directly: the client gets a 500, the in-flight gauge returns to
 // baseline, and the panic and 5xx counters move.
 func TestInstrumentRecoversPanic(t *testing.T) {
-	h := instrument("/boom", func(http.ResponseWriter, *http.Request) {
+	srv := &Server{log: obs.NopLogger()}
+	h := srv.instrument("/boom", func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	})
 	inFlightBefore := httpInFlight.Value()
@@ -149,7 +151,7 @@ func TestInstrumentRecoversPanic(t *testing.T) {
 
 	// A panic after headers went out cannot unsend them, but accounting must
 	// still record a server error.
-	late := instrument("/boom-late", func(w http.ResponseWriter, _ *http.Request) {
+	late := srv.instrument("/boom-late", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		panic("after headers")
 	})

@@ -79,10 +79,22 @@ func TestMetricsReflectEstimate(t *testing.T) {
 		`trendspeed_core_estimate_duration_seconds_count{phase="speed"}`,
 		"trendspeed_core_estimate_rounds_total",
 		"trendspeed_seedsel_reevaluations_total",
+		// HDR families render as Prometheus summaries with tail quantiles.
+		"# TYPE trendspeed_http_request_duration_hdr_seconds summary",
+		`trendspeed_http_request_duration_hdr_seconds{route="/v1/estimate",quantile="0.999"}`,
+		`trendspeed_http_request_duration_hdr_seconds_count{route="/v1/estimate"}`,
+		"# TYPE trendspeed_core_estimate_duration_hdr_seconds summary",
+		`trendspeed_core_estimate_duration_hdr_seconds{phase="total",quantile="0.99"}`,
+		// Build metadata gauge registered by NewServerWith.
+		"# TYPE trendspeed_build_info gauge",
+		`trendspeed_build_info{go_version="go`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+	if !strings.Contains(text, `gomaxprocs="`) || !strings.Contains(text, `module_version="`) {
+		t.Errorf("build info gauge missing gomaxprocs/module_version labels")
 	}
 }
 

@@ -47,6 +47,14 @@ var (
 			"Estimation round wall time split by phase: pre_pass, trend, speed, total.",
 			obs.DefBuckets, "phase", phase)
 	}
+	// estimateHDRSeconds shadows estimateSeconds with ~1% relative error up
+	// to p99.9; the fixed buckets stay for dashboard continuity, the HDR
+	// family is what SLO gates and loadgen comparisons read.
+	estimateHDRSeconds = func(phase string) *obs.HDRHistogram {
+		return obs.Default().HDRHistogram("trendspeed_core_estimate_duration_hdr_seconds",
+			"Estimation round wall time split by phase, HDR-bucketed for tail quantiles.",
+			"phase", phase)
+	}
 	estimateRounds = obs.Default().Counter("trendspeed_core_estimate_rounds_total",
 		"Completed estimation rounds.")
 	estimateCanceled = obs.Default().Counter("trendspeed_estimate_canceled_total",
@@ -74,8 +82,24 @@ func timePhase(ctx context.Context, phase string, fn func() error) error {
 	}
 	_, sp := obs.StartSpan(ctx, phase)
 	err := fn()
-	estimateSeconds(phase).Observe(sp.End().Seconds())
+	d := sp.End().Seconds()
+	estimateSeconds(phase).Observe(d)
+	estimateHDRSeconds(phase).Observe(d)
 	return err
+}
+
+// EstimateLatencyQuantiles reports p50/p90/p99/p99.9 of the end-to-end
+// estimation round latency ("total" phase) from the HDR histogram, for
+// embedding in benchmark reports comparable with cmd/loadgen output. Keys
+// are "p50", "p90", "p99", "p99.9"; all zero until the first round runs.
+func EstimateLatencyQuantiles() map[string]float64 {
+	snap := estimateHDRSeconds("total").Snapshot()
+	return map[string]float64{
+		"p50":   snap.Quantile(0.5),
+		"p90":   snap.Quantile(0.9),
+		"p99":   snap.Quantile(0.99),
+		"p99.9": snap.Quantile(0.999),
+	}
 }
 
 // Options configures model construction. The zero value is NOT valid;

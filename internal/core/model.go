@@ -380,7 +380,9 @@ func (m *Model) EstimateWith(slot int, seedSpeeds map[roadnet.RoadID]float64, op
 func (m *Model) EstimateWithCtx(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
 	ctx, roundSpan := obs.StartSpan(ctx, "core.estimate")
 	out, err := m.estimateWith(ctx, slot, seedSpeeds, opts)
-	estimateSeconds("total").Observe(roundSpan.End().Seconds())
+	roundSeconds := roundSpan.End().Seconds()
+	estimateSeconds("total").Observe(roundSeconds)
+	estimateHDRSeconds("total").Observe(roundSeconds)
 	if err == nil {
 		estimateRounds.Inc()
 	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

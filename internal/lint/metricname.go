@@ -37,7 +37,7 @@ func runMetricName(p *Pass) error {
 				return true
 			}
 			switch sel.Sel.Name {
-			case "Counter", "Gauge", "Histogram":
+			case "Counter", "Gauge", "Histogram", "HDRHistogram":
 			default:
 				return true
 			}

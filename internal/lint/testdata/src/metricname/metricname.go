@@ -4,10 +4,12 @@
 // repro/internal/obs.
 package metricname
 
-// Counter, Gauge and Histogram stand in for the obs instrument types.
+// Counter, Gauge, Histogram and HDRHistogram stand in for the obs
+// instrument types.
 type Counter struct{}
 type Gauge struct{}
 type Histogram struct{}
+type HDRHistogram struct{}
 
 // Registry mirrors obs.Registry: the analyzer matches the type name.
 type Registry struct{}
@@ -16,6 +18,9 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter { retur
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge     { return &Gauge{} }
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
 	return &Histogram{}
+}
+func (r *Registry) HDRHistogram(name, help string, labels ...string) *HDRHistogram {
+	return &HDRHistogram{}
 }
 
 // Default mirrors obs.Default.
@@ -35,6 +40,17 @@ func dynamic(name string) *Counter {
 
 var dupA = Default().Counter("trendspeed_fixture_dup_total", "first site")
 var dupB = Default().Counter("trendspeed_fixture_dup_total", "second site") // want `registered at multiple call sites`
+
+var goodHDR = Default().HDRHistogram("trendspeed_fixture_hdr_seconds", "a well-named HDR histogram")
+
+var badHDRPrefix = Default().HDRHistogram("fixture_hdr_bad", "missing prefix") // want `lacks the trendspeed_ prefix`
+
+func dynamicHDR(name string) *HDRHistogram {
+	return Default().HDRHistogram(name, "dynamic name") // want `must be a compile-time constant`
+}
+
+var dupHDRA = Default().HDRHistogram("trendspeed_fixture_hdr_dup_seconds", "first site")
+var dupHDRB = Default().HDRHistogram("trendspeed_fixture_hdr_dup_seconds", "second site") // want `registered at multiple call sites`
 
 //lint:ignore metricname fixture: exercising the suppression path
 var suppressed = Default().Histogram("fixture_suppressed", "suppressed prefix violation", nil)

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// buildInfoName is the one metric family every binary registers at startup;
+// the constant exists so RegisterBuildInfo stays the single call site the
+// metricname analyzer expects.
+const buildInfoName = "trendspeed_build_info"
+
+// RegisterBuildInfo registers the trendspeed_build_info gauge on r and sets
+// it to 1. The build facts ride in the labels (the usual Prometheus idiom for
+// non-numeric metadata): the Go toolchain that built the binary, the main
+// module version stamped by the build system ("(devel)" for plain go build,
+// "unknown" when no build info is embedded, e.g. in tests), and GOMAXPROCS so
+// load reports are interpretable without shelling into the host.
+func RegisterBuildInfo(r *Registry) *Gauge {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	g := r.Gauge(buildInfoName,
+		"Build and runtime metadata; the value is always 1.",
+		"go_version", runtime.Version(),
+		"module_version", version,
+		"gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)))
+	g.Set(1)
+	return g
+}

@@ -143,6 +143,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindHDR
 )
 
 func (k metricKind) String() string {
@@ -151,6 +152,10 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
+	case kindHDR:
+		// HDR histograms expose precomputed quantiles, which is exactly what
+		// the Prometheus summary type models.
+		return "summary"
 	default:
 		return "histogram"
 	}
@@ -294,6 +299,18 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 	}).(*Histogram)
 }
 
+// HDRHistogram returns the log-bucketed histogram with the given name and
+// label pairs, creating it on first use with the default latency shape
+// (DefHDRMin..DefHDRMax at DefHDRGrowth, ~1% relative error). It renders as
+// a Prometheus summary carrying the DefQuantiles; the raw buckets stay
+// available through Snapshot on the returned handle.
+func (r *Registry) HDRHistogram(name, help string, labels ...string) *HDRHistogram {
+	f := r.getFamily(name, help, kindHDR, nil)
+	return f.child(labels, func() any {
+		return NewHDRHistogram(DefHDRMin, DefHDRMax, DefHDRGrowth)
+	}).(*HDRHistogram)
+}
+
 // escapeLabel escapes a label value per the text exposition format.
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
@@ -381,6 +398,13 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(flat, "le", "+Inf"), cum)
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(flat), formatValue(m.Sum()))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(flat), cum)
+			case *HDRHistogram:
+				snap := m.Snapshot()
+				for _, q := range DefQuantiles {
+					fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(flat, "quantile", formatValue(q)), formatValue(snap.Quantile(q)))
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(flat), formatValue(snap.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(flat), snap.Count())
 			}
 		}
 		f.mu.Unlock()
@@ -406,6 +430,9 @@ type SampleValue struct {
 	Sum     *float64          `json:"sum,omitempty"`
 	Count   *uint64           `json:"count,omitempty"`
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
+	// Quantiles is set for HDR histograms: the quantile (as rendered in the
+	// quantile label) mapped to its value.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // FamilySnapshot is one metric family's state in a Snapshot.
@@ -461,6 +488,15 @@ func (r *Registry) Snapshot() map[string]FamilySnapshot {
 				cum += m.counts[len(f.bounds)].Load()
 				sv.Buckets["+Inf"] = cum
 				cnt = cum
+				sv.Sum = &sum
+				sv.Count = &cnt
+			case *HDRHistogram:
+				snap := m.Snapshot()
+				sum, cnt := snap.Sum, snap.Count()
+				sv.Quantiles = make(map[string]float64, len(DefQuantiles))
+				for _, q := range DefQuantiles {
+					sv.Quantiles[formatValue(q)] = snap.Quantile(q)
+				}
 				sv.Sum = &sum
 				sv.Count = &cnt
 			}

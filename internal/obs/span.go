@@ -9,10 +9,14 @@ import (
 )
 
 // SpanRecord is one finished span: a named stage with wall-clock timing.
+// RequestID is set when the span was started under a request context (see
+// WithRequestID), correlating the span with structured log lines and the
+// X-Request-Id response header of the same request.
 type SpanRecord struct {
 	Name            string    `json:"name"`
 	Start           time.Time `json:"start"`
 	DurationSeconds float64   `json:"duration_seconds"`
+	RequestID       string    `json:"request_id,omitempty"`
 }
 
 // Tracer records the last-N finished spans in a ring buffer and mirrors
@@ -103,6 +107,7 @@ func (t *Tracer) SpansJSON() ([]byte, error) {
 type Span struct {
 	tracer *Tracer
 	name   string
+	reqID  string
 	start  time.Time
 	ended  bool
 }
@@ -125,7 +130,7 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 		name = parent.name + "/" + name
 	}
 	t.started.Add(1)
-	s := &Span{tracer: t, name: name, start: time.Now()}
+	s := &Span{tracer: t, name: name, reqID: RequestIDFrom(ctx), start: time.Now()}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
@@ -140,6 +145,6 @@ func (s *Span) End() time.Duration {
 		return d
 	}
 	s.ended = true
-	s.tracer.record(SpanRecord{Name: s.name, Start: s.start, DurationSeconds: d.Seconds()})
+	s.tracer.record(SpanRecord{Name: s.name, Start: s.start, DurationSeconds: d.Seconds(), RequestID: s.reqID})
 	return d
 }
