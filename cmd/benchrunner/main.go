@@ -48,10 +48,11 @@ func main() {
 	obs.RegisterBuildInfo(obs.Default())
 
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2) or all")
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2), all, or none")
 		fast    = flag.Bool("fast", false, "reduced dataset scale for smoke runs")
 		out     = flag.String("out", "", "write a markdown report to this path")
 		jsonOut = flag.String("json", "", "write a JSON report (experiment timings + metrics registry snapshot) to this path")
+		rebuild = flag.Bool("rebuild-bench", false, "measure an incremental vs full model rebuild on the same delta and gate on the equivalence bound (recorded under rebuild_incremental in -json)")
 	)
 	flag.Parse()
 
@@ -72,11 +73,12 @@ func main() {
 		{"E2", "Extension E2 — cost-aware seed selection", runE2},
 	}
 
+	// -exp none runs no experiment at all — the -rebuild-bench-only
+	// invocation CI's smoke step uses.
+	runAll := *expFlag == "all"
 	want := map[string]bool{}
-	if *expFlag != "all" {
-		for _, id := range strings.Split(*expFlag, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
+	for _, id := range strings.Split(*expFlag, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
 	}
 
 	ctx := NewContext(*fast)
@@ -93,7 +95,7 @@ func main() {
 	var runs []runRecord
 
 	for _, ex := range experiments {
-		if len(want) > 0 && !want[ex.id] {
+		if !runAll && !want[ex.id] {
 			continue
 		}
 		log.Printf("running %s: %s", ex.id, ex.title)
@@ -119,6 +121,11 @@ func main() {
 
 	report.WriteString(postscript)
 
+	var rebuildRec *rebuildRecord
+	if *rebuild {
+		rebuildRec = runRebuildBench(*fast)
+	}
+
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
 			log.Fatal(err)
@@ -136,8 +143,12 @@ func main() {
 			// EstimateLatency carries the HDR quantiles of every estimate
 			// round this run performed, in the same shape loadgen reports
 			// them, so BENCH_*.json files from both tools are comparable.
-			EstimateLatency map[string]float64            `json:"estimate_latency_hdr_seconds"`
-			Metrics         map[string]obs.FamilySnapshot `json:"metrics"`
+			EstimateLatency map[string]float64 `json:"estimate_latency_hdr_seconds"`
+			// Rebuild carries the incremental-vs-full rebuild comparison of
+			// -rebuild-bench: duration per mode, speedup, and the estimate
+			// divergence against the equivalence bounds.
+			Rebuild *rebuildRecord                `json:"rebuild_incremental,omitempty"`
+			Metrics map[string]obs.FamilySnapshot `json:"metrics"`
 		}{
 			GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
 			Fast:            *fast,
@@ -145,6 +156,7 @@ func main() {
 			Toolchain:       toolchainVersions(),
 			Experiments:     runs,
 			EstimateLatency: core.EstimateLatencyQuantiles(),
+			Rebuild:         rebuildRec,
 			Metrics:         obs.Default().Snapshot(),
 		}
 		raw, err := json.MarshalIndent(doc, "", "  ")

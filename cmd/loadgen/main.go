@@ -145,6 +145,11 @@ func execute(opt *options, logf func(string, ...any)) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Arm background rebuilds so mixed workloads that POST observations
+		// exercise the hot-swap path, including incremental rebuilds when the
+		// ingested delta touches a small fraction of the network.
+		store.Start(core.StoreConfig{RebuildMinObs: 4000, IncrementalMaxDirtyFrac: 0.25})
+		defer store.Close()
 		srv, err := api.NewServerWith(store, api.Config{
 			Metrics:              true,
 			MaxInflightEstimates: 2 * runtime.GOMAXPROCS(0),

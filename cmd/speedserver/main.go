@@ -16,7 +16,10 @@
 // store; -rebuild-every and -rebuild-min-obs arm the background rebuild
 // loop that folds them into a new immutable model and hot-swaps it without
 // interrupting requests. Both default to off, which freezes the model at
-// version 1 (the pre-lifecycle behaviour).
+// version 1 (the pre-lifecycle behaviour). When the buffered delta touches
+// at most -incremental-max-dirty-frac of the network's roads, the rebuild
+// runs incrementally (delta re-score + retrain with BP warm-start) instead
+// of from scratch; set the fraction to 0 to force full rebuilds.
 //
 // Observability: -metrics (default true) exposes GET /metrics on the main
 // address; -debug-addr starts a second listener with /metrics, pprof,
@@ -64,6 +67,7 @@ func main() {
 		shutdownTTL = flag.Duration("shutdown-timeout", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 		rebuildTTL  = flag.Duration("rebuild-every", 0, "rebuild the model on this interval when observations are buffered (0 disables the timer)")
 		rebuildObs  = flag.Int("rebuild-min-obs", 0, "rebuild as soon as this many observations are buffered (0 disables the count trigger)")
+		incFrac     = flag.Float64("incremental-max-dirty-frac", 0.25, "rebuild incrementally when the buffered delta touches at most this fraction of roads (0 forces full rebuilds)")
 		estTimeout  = flag.Duration("estimate-timeout", 10*time.Second, "per-request inference deadline on /v1/estimate and /v1/map; expiry cancels the round and answers 503 (0 disables)")
 		maxEst      = flag.Int("max-inflight-estimates", 2*runtime.GOMAXPROCS(0), "max concurrent estimation rounds before excess requests are shed with 429 (0 disables admission control)")
 		logFormat   = flag.String("log-format", "json", "per-request structured log encoding on stderr: json or text")
@@ -125,8 +129,13 @@ func main() {
 			old.Version(), m.Version(), m.ObservationCount(), m.BuildDuration().Round(time.Millisecond))
 	})
 	if *rebuildTTL > 0 || *rebuildObs > 0 {
-		store.Start(core.StoreConfig{RebuildEvery: *rebuildTTL, RebuildMinObs: *rebuildObs})
-		log.Printf("background rebuilds armed (every %v, min %d observations)", *rebuildTTL, *rebuildObs)
+		store.Start(core.StoreConfig{
+			RebuildEvery:            *rebuildTTL,
+			RebuildMinObs:           *rebuildObs,
+			IncrementalMaxDirtyFrac: *incFrac,
+		})
+		log.Printf("background rebuilds armed (every %v, min %d observations, incremental ≤ %.0f%% dirty)",
+			*rebuildTTL, *rebuildObs, *incFrac*100)
 	}
 
 	srv, err := api.NewServerWith(store, api.Config{

@@ -559,6 +559,8 @@ type modelResponse struct {
 	Observations     int     `json:"observations"`
 	BufferedPending  int     `json:"buffered_observations"`
 	StalenessSeconds float64 `json:"staleness_seconds"`
+	// RebuildMode is how the model was built: "full" or "incremental".
+	RebuildMode string `json:"rebuild_mode"`
 }
 
 // handleModel reports the published model's version and build metadata —
@@ -573,6 +575,7 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		Observations:     m.ObservationCount(),
 		BufferedPending:  s.store.BufferedObservations(),
 		StalenessSeconds: time.Since(m.BuiltAt()).Seconds(),
+		RebuildMode:      m.RebuildMode(),
 	})
 }
 

@@ -32,14 +32,14 @@ func newGateEngine() gateEngine {
 
 func (e gateEngine) Name() string { return "gate-test" }
 
-func (e gateEngine) Infer(ctx context.Context, m *mrf.Model, ev []mrf.Evidence) (*mrf.Result, error) {
+func (e gateEngine) Infer(ctx context.Context, m *mrf.Model, ev []mrf.Evidence, _ *mrf.Beliefs) (*mrf.Result, error) {
 	select {
 	case e.entered <- struct{}{}:
 	default:
 	}
 	select {
 	case <-e.release:
-		return mrf.PriorOnly{}.Infer(ctx, m, ev)
+		return mrf.PriorOnly{}.Infer(ctx, m, ev, nil)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

@@ -25,7 +25,7 @@ func newBlockingEngine() blockingEngine {
 
 func (e blockingEngine) Name() string { return "blocking-test" }
 
-func (e blockingEngine) Infer(ctx context.Context, m *mrf.Model, ev []mrf.Evidence) (*mrf.Result, error) {
+func (e blockingEngine) Infer(ctx context.Context, m *mrf.Model, ev []mrf.Evidence, _ *mrf.Beliefs) (*mrf.Result, error) {
 	e.once.Do(func() { close(e.entered) })
 	<-ctx.Done()
 	return nil, ctx.Err()
@@ -126,14 +126,14 @@ func TestRebuildCtxCancelled(t *testing.T) {
 		t.Errorf("buffered observations %d → %d; aborted rebuild must not consume them", buffered0, got)
 	}
 	// The store stays serviceable: a fresh rebuild with a live context works.
-	// Version numbers are allocated per attempt, so the aborted rebuild may
-	// leave a gap; only monotonicity is promised.
+	// Version numbers are allocated at publish, so the aborted attempt
+	// consumed nothing and the follow-up lands at exactly v0+1.
 	m, err := st.RebuildCtx(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Version() <= v0 {
-		t.Errorf("follow-up rebuild version = %d, want > %d", m.Version(), v0)
+	if m.Version() != v0+1 {
+		t.Errorf("follow-up rebuild version = %d, want exactly %d (no gap)", m.Version(), v0+1)
 	}
 }
 

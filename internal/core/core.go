@@ -39,7 +39,7 @@ import (
 var (
 	stageSeconds = func(stage string) *obs.Histogram {
 		return obs.Default().Histogram("trendspeed_core_stage_duration_seconds",
-			"Offline build stage wall time: corr_build, hlm_train, seedsel_prepare, trend_topology, seed_specialize.",
+			"Offline build stage wall time: corr_build, hlm_train, seedsel_prepare, trend_topology, seed_specialize; incremental rebuilds run corr_rescore and hlm_retrain instead of the full stages.",
 			obs.DefBuckets, "stage", stage)
 	}
 	estimateSeconds = func(phase string) *obs.Histogram {

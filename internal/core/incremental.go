@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/corr"
+	"repro/internal/history"
+	"repro/internal/hlm"
+	"repro/internal/mrf"
+	"repro/internal/obs"
+	"repro/internal/seedsel"
+)
+
+// errTopologyChanged marks an incremental rebuild abandoned because the
+// re-scored correlation graph could not be turned into a BP topology at all
+// (NewTopology refused it). The store treats it as "fall back to a full
+// build", not as a failure.
+var errTopologyChanged = errors.New("core: correlation graph unusable for topology patch")
+
+// buildIncremental mints a successor model from old for the rolled-forward
+// history db, at a cost proportional to the dirty set rather than the city:
+//
+//   - the correlation graph is re-scored only around the dirty roads
+//     (corr.Rescore; exactly equal to a full corr.Build over db),
+//   - the BP topology is the old one patched with the new agreements when
+//     the edge set is unchanged (mrf.Topology.WithAgreements shares the CSR
+//     shape arrays, keeping the predecessor's converged beliefs directly
+//     usable as a warm start); when the delta moved an edge in or out of
+//     the MaxNeighbors-pruned set — a global rank decision, so even a tiny
+//     delta can flip it — the topology is rebuilt fresh (O(E·deg), cheap
+//     next to re-scoring) and the beliefs are remapped onto it by
+//     directed-edge identity (mrf.Beliefs.Remap),
+//   - the HLM re-fits only the roads the delta can reach (hlm.Retrain;
+//     copied roads' group-level predictors go stale, the one approximation
+//     of the whole path — see the Retrain doc and the equivalence property
+//     test),
+//   - seed selection re-derives its problem in full (it is the cheapest
+//     stage and its benefit weights shift with every dirty road).
+//
+// The successor inherits the predecessor's latest converged BP beliefs as
+// its fixed warm start, cutting trend-inference rounds right after a swap.
+// Returns errTopologyChanged (wrapped) when no topology can be built over
+// the re-scored graph at all; the caller must fall back to build.
+func buildIncremental(ctx context.Context, old *Model, db *history.DB, dirty *history.Dirty, opts Options, version uint64) (*Model, error) {
+	start := time.Now()
+	ctx, buildSpan := obs.StartSpan(ctx, "core.rebuild_incremental")
+	defer buildSpan.End()
+
+	var graph *corr.Graph
+	if err := timeStage(ctx, "corr_rescore", func() (err error) {
+		graph, err = corr.Rescore(old.graph, old.net, db, dirty.Roads, opts.Corr)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: re-scoring correlation graph: %w", err)
+	}
+
+	var trendTopo *mrf.Topology
+	reshaped := false
+	if err := timeStage(ctx, "trend_topology", func() (err error) {
+		trendTopo, err = old.trendTopo.WithAgreements(graph)
+		if err == nil {
+			return nil
+		}
+		// Edge-set drift: rebuild the CSR fresh; beliefs are remapped onto
+		// it below instead of being discarded.
+		reshaped = true
+		trendTopo, err = mrf.NewTopology(graph)
+		return err
+	}); err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", errTopologyChanged, err)
+	}
+
+	dirtyMask := make([]bool, db.NumRoads())
+	for _, r := range dirty.Roads {
+		dirtyMask[r] = true
+	}
+	var model *hlm.Model
+	if err := timeStage(ctx, "hlm_retrain", func() (err error) {
+		model, err = hlm.Retrain(old.hlm, graph, db, dirtyMask)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: retraining HLM: %w", err)
+	}
+
+	var problem *seedsel.Problem
+	if err := timeStage(ctx, "seedsel_prepare", func() (err error) {
+		problem, err = seedsel.NewProblem(graph, seedsel.BenefitWeights(old.net, db), opts.SeedSel)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: preparing seed selection: %w", err)
+	}
+
+	// Warm start: the predecessor's most recent converged beliefs, or —
+	// when it never ran a trend inference — whatever it inherited itself.
+	// Across an edge-set change the beliefs are re-keyed by edge identity:
+	// surviving edges keep their converged messages, new edges start
+	// uniform.
+	warm := old.lastBeliefs.Load()
+	if warm == nil {
+		warm = old.warm
+	}
+	if reshaped {
+		warm = warm.Remap(trendTopo)
+	}
+
+	return &Model{
+		version: version, builtAt: start, buildDur: time.Since(start),
+		obsCount: db.ObservationCount(),
+		net:      old.net, db: db, graph: graph, hlm: model,
+		problem: problem, selector: old.selector, engine: old.engine,
+		seedTrendNoise: old.seedTrendNoise, preTrendNoise: old.preTrendNoise, trendTemper: old.trendTemper,
+		trendTopo: trendTopo, special: old.special,
+		rebuildMode: "incremental", warm: warm,
+	}, nil
+}

@@ -63,6 +63,22 @@ type Model struct {
 	// load it once at entry (see estimateWith).
 	seedModel atomic.Pointer[hlm.SeedModel]
 	special   hlm.SpecializeConfig
+
+	// rebuildMode records how this model was built: "full" (from-scratch
+	// training, including version 1) or "incremental" (delta rebuild, see
+	// buildIncremental).
+	rebuildMode string
+
+	// warm is the BP belief snapshot inherited from the predecessor at an
+	// incremental rebuild; nil for full builds. It is fixed for the model's
+	// lifetime — every trend inference on this model sees the same warm
+	// input — so repeated identical Estimate calls stay bit-identical.
+	warm *mrf.Beliefs
+	// lastBeliefs is the converged belief state of the most recent trend
+	// inference round on this model; the successor minted by an incremental
+	// rebuild adopts it as its warm start. Rounds only store here, never
+	// read, which keeps them deterministic.
+	lastBeliefs atomic.Pointer[mrf.Beliefs]
 }
 
 // New builds the correlation graph, trains the HLM and prepares seed
@@ -159,7 +175,7 @@ func build(ctx context.Context, net *roadnet.Network, db *history.DB, opts Optio
 		net:      net, db: db, graph: graph, hlm: model,
 		problem: problem, selector: selector, engine: engine,
 		seedTrendNoise: noise, preTrendNoise: preNoise, trendTemper: temper,
-		trendTopo: trendTopo, special: special,
+		trendTopo: trendTopo, special: special, rebuildMode: "full",
 	}, nil
 }
 
@@ -176,6 +192,10 @@ func (m *Model) BuildDuration() time.Duration { return m.buildDur }
 // ObservationCount returns the number of slot-level history samples the
 // model was trained on.
 func (m *Model) ObservationCount() int { return m.obsCount }
+
+// RebuildMode reports how the model was built: "full" for a from-scratch
+// train (including version 1) or "incremental" for a delta rebuild.
+func (m *Model) RebuildMode() string { return m.rebuildMode }
 
 // Net returns the road network.
 func (m *Model) Net() *roadnet.Network { return m.net }
@@ -481,10 +501,15 @@ func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadn
 		if engine == nil {
 			engine = m.engine
 		}
-		trends, err = engine.Infer(ctx, model, nil)
+		trends, err = engine.Infer(ctx, model, nil, m.warm)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: trend inference: %w", err)
+	}
+	// Snapshot the converged beliefs for the successor model's warm start.
+	// Rounds never read lastBeliefs, so this store cannot perturb them.
+	if trends.Beliefs != nil {
+		m.lastBeliefs.Store(trends.Beliefs)
 	}
 	// Fuse the graphical posterior with the magnitude evidence in log-odds
 	// space: the two views — binary propagation and calibrated magnitude

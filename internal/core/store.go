@@ -20,14 +20,16 @@ import (
 var (
 	modelVersionGauge = obs.Default().Gauge("trendspeed_model_version",
 		"Version of the model currently published by the store.")
-	modelRebuilds = func(outcome string) *obs.Counter {
+	modelRebuilds = func(outcome, mode string) *obs.Counter {
 		return obs.Default().Counter("trendspeed_model_rebuilds_total",
-			"Model rebuilds by outcome (success publishes a new version; error keeps the old model and the buffered observations).",
-			"outcome", outcome)
+			"Model rebuilds by outcome (success publishes a new version; error keeps the old model and the buffered observations) and mode (full retrain vs incremental delta rebuild).",
+			"outcome", outcome, "mode", mode)
 	}
-	rebuildSeconds = obs.Default().Histogram("trendspeed_model_rebuild_duration_seconds",
-		"Wall time of one model rebuild: history roll-forward, retrain, seed re-specialization and swap.",
-		obs.DefBuckets)
+	rebuildSeconds = func(mode string) *obs.Histogram {
+		return obs.Default().Histogram("trendspeed_model_rebuild_duration_seconds",
+			"Wall time of one model rebuild — history roll-forward, retrain, seed re-specialization and swap — by mode (full vs incremental).",
+			obs.DefBuckets, "mode", mode)
+	}
 	ingestBuffered = obs.Default().Gauge("trendspeed_ingest_buffered_observations",
 		"Observations ingested but not yet folded into a published model.")
 )
@@ -50,6 +52,13 @@ type StoreConfig struct {
 	// RebuildMinObs rebuilds as soon as this many observations are
 	// buffered; 0 disables the count trigger.
 	RebuildMinObs int
+	// IncrementalMaxDirtyFrac enables incremental (delta) rebuilds: when the
+	// fraction of roads whose history changed since the published model is
+	// at or below this value, the rebuild re-scores and retrains only around
+	// the delta and warm-starts trend inference from the predecessor's
+	// converged beliefs (see buildIncremental). Larger deltas fall back to a
+	// full retrain. 0 (or negative) disables incremental rebuilds entirely.
+	IncrementalMaxDirtyFrac float64
 }
 
 // Store is the serving handle over a sequence of immutable model versions.
@@ -79,6 +88,11 @@ type Store struct {
 	cfg       StoreConfig
 	started   bool
 	closed    bool
+	// failRebuild is a test seam: when set, rebuild calls it after draining
+	// the buffer and aborts with its error, exercising the failure path
+	// (observations kept, no version consumed, loop retry) without a real
+	// build error.
+	failRebuild func() error
 
 	// rebuildMu serializes rebuilds: concurrent Rebuild calls queue, and
 	// Close drains an in-flight one by acquiring it.
@@ -274,59 +288,104 @@ func (s *Store) RebuildCtx(ctx context.Context) (*Model, error) {
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
 	start := time.Now()
-	m, err := s.rebuild(ctx)
+	m, mode, err := s.rebuild(ctx)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			modelRebuilds("canceled").Inc()
+			modelRebuilds("canceled", mode).Inc()
 		} else {
-			modelRebuilds("error").Inc()
+			modelRebuilds("error", mode).Inc()
 		}
 		return nil, err
 	}
-	rebuildSeconds.Observe(time.Since(start).Seconds())
-	modelRebuilds("success").Inc()
+	rebuildSeconds(mode).Observe(time.Since(start).Seconds())
+	modelRebuilds("success", mode).Inc()
 	return m, nil
 }
 
-func (s *Store) rebuild(ctx context.Context) (*Model, error) {
+// rebuild runs one retrain under rebuildMu and returns the published model
+// and the mode it was built in ("full" or "incremental"; on error, the mode
+// that was being attempted, for metric labels).
+func (s *Store) rebuild(ctx context.Context) (*Model, string, error) {
 	s.mu.Lock()
 	pending := append([]Observation(nil), s.buf...)
 	seeds := s.lastSeeds
+	maxDirtyFrac := s.cfg.IncrementalMaxDirtyFrac
+	fail := s.failRebuild
 	s.mu.Unlock()
+	if fail != nil {
+		if err := fail(); err != nil {
+			return nil, "full", err
+		}
+	}
 
 	old := s.cur.Load()
 	builder, err := history.NewBuilderFrom(old.DB())
 	if err != nil {
-		return nil, fmt.Errorf("core: rolling history forward: %w", err)
+		return nil, "full", fmt.Errorf("core: rolling history forward: %w", err)
 	}
 	for _, o := range pending {
 		// Validated at Ingest; a failure here means the builder and store
 		// disagree on validity and must abort the rebuild, not skip data.
 		if err := builder.Add(o.Road, o.Slot, o.Speed); err != nil {
-			return nil, fmt.Errorf("core: folding in observation: %w", err)
+			return nil, "full", fmt.Errorf("core: folding in observation: %w", err)
 		}
 	}
 	db := builder.Finalize()
-	m, err := build(ctx, old.Net(), db, s.opts, s.version.Add(1))
+
+	// The successor's version is allocated only at publish: a failed build
+	// consumes nothing, so published versions never skip. Safe because
+	// rebuilds are serialized by rebuildMu and s.version is written nowhere
+	// else after NewStore.
+	next := s.version.Load() + 1
+
+	// Delta path: when the dirty fraction is small enough, rebuild around
+	// the delta; only a re-scored graph no topology can be built over at
+	// all falls back to a full build.
+	mode := "full"
+	var m *Model
+	dirty := builder.Dirty()
+	if dirty != nil && maxDirtyFrac > 0 &&
+		float64(len(dirty.Roads)) <= maxDirtyFrac*float64(db.NumRoads()) {
+		mode = "incremental"
+		m, err = buildIncremental(ctx, old, db, dirty, s.opts, next)
+		if err != nil && errors.Is(err, errTopologyChanged) {
+			mode = "full"
+			m, err = build(ctx, old.Net(), db, s.opts, next)
+		}
+	} else {
+		m, err = build(ctx, old.Net(), db, s.opts, next)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: rebuilding model: %w", err)
+		return nil, mode, fmt.Errorf("core: rebuilding model: %w", err)
 	}
 	if len(seeds) > 0 {
 		if err := m.PrepareCtx(ctx, seeds); err != nil {
-			return nil, fmt.Errorf("core: re-specializing seed set: %w", err)
+			return nil, mode, fmt.Errorf("core: re-specializing seed set: %w", err)
 		}
 	}
 	// A cancellation that raced the last stage must not publish: Close has
 	// already begun draining, and the caller asked for the work to stop.
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: rebuild aborted before publish: %w", err)
+		return nil, mode, fmt.Errorf("core: rebuild aborted before publish: %w", err)
 	}
 
 	// Publish, drop the consumed prefix of the buffer (Ingest only appends,
 	// so the first len(pending) entries are exactly what we folded in) and
-	// snapshot the hooks to run outside the lock.
+	// snapshot the hooks to run outside the lock. When the consumed prefix
+	// dominates the backing array, the remainder is copied to a fresh slice
+	// so the old array becomes collectable instead of being pinned by the
+	// re-slice.
 	s.mu.Lock()
-	s.buf = s.buf[len(pending):]
+	s.version.Store(next)
+	rest := len(s.buf) - len(pending)
+	switch {
+	case rest == 0:
+		s.buf = nil
+	case len(pending) >= rest:
+		s.buf = append(make([]Observation, 0, rest), s.buf[len(pending):]...)
+	default:
+		s.buf = s.buf[len(pending):]
+	}
 	buffered := len(s.buf)
 	hooks := append([]func(old, new *Model){}, s.onSwap...)
 	s.mu.Unlock()
@@ -336,20 +395,26 @@ func (s *Store) rebuild(ctx context.Context) (*Model, error) {
 	for _, h := range hooks {
 		h(old, m)
 	}
-	return m, nil
+	return m, mode, nil
 }
 
-// Start launches the background rebuild loop with the given triggers. It is
-// a no-op when both triggers are disabled or the loop is already running;
-// the first effective call wins and later configs are ignored (except that
+// Start configures the store and launches the background rebuild loop when
+// at least one trigger is enabled. The config is recorded even when both
+// triggers are disabled — notably IncrementalMaxDirtyFrac, which direct
+// Rebuild calls honour without any loop running. Once the loop is running,
+// later calls are no-ops and their configs are ignored (except that
 // RebuildMinObs keeps gating Ingest's kick signal).
 func (s *Store) Start(cfg StoreConfig) {
 	s.mu.Lock()
-	if s.closed || s.started || (cfg.RebuildEvery <= 0 && cfg.RebuildMinObs <= 0) {
+	if s.closed || s.started {
 		s.mu.Unlock()
 		return
 	}
 	s.cfg = cfg
+	if cfg.RebuildEvery <= 0 && cfg.RebuildMinObs <= 0 {
+		s.mu.Unlock()
+		return
+	}
 	s.started = true
 	s.mu.Unlock()
 	go s.loop(cfg)
@@ -363,6 +428,7 @@ func (s *Store) loop(cfg StoreConfig) {
 		defer t.Stop()
 		tick = t.C
 	}
+	failures := 0
 	for {
 		select {
 		case <-s.stop:
@@ -375,7 +441,34 @@ func (s *Store) loop(cfg StoreConfig) {
 		}
 		// Errors keep the old model serving and the observations buffered;
 		// the rebuilds_total{outcome="error"} counter is the alert signal.
-		_, _ = s.Rebuild()
+		if _, err := s.Rebuild(); err != nil {
+			// Back off before the retry below re-arms: a persistently
+			// failing build must not spin the loop hot.
+			failures++
+			backoff := time.Duration(failures) * 100 * time.Millisecond
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(backoff):
+			}
+		} else {
+			failures = 0
+		}
+		// Re-check the trigger condition: a min-obs kick raised while the
+		// rebuild above was in flight was consumed by it, and a failed
+		// rebuild keeps its observations buffered with no future kick
+		// coming — either way, ≥ RebuildMinObs observations would sit
+		// stranded forever with no timer and no further ingest. Re-arm the
+		// kick so the next iteration picks them up.
+		if cfg.RebuildMinObs > 0 && s.BufferedObservations() >= cfg.RebuildMinObs {
+			select {
+			case s.kick <- struct{}{}:
+			default:
+			}
+		}
 	}
 }
 

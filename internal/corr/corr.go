@@ -73,6 +73,13 @@ func (c *Config) Validate() error {
 // Graph is the immutable correlation graph. Node IDs coincide with road IDs.
 type Graph struct {
 	edges [][]Edge
+	// raw holds the pre-prune neighbour lists (every pair that cleared the
+	// agreement thresholds, before MaxNeighbors truncation). Rescore needs
+	// them because pruning is a *global* rank decision: re-scoring a single
+	// pair can change which of its endpoints' other edges survive, and that
+	// can only be replayed from the unpruned lists. When no pruning applied,
+	// raw and edges are the same slices.
+	raw [][]Edge
 }
 
 // NumRoads returns the number of nodes.
@@ -143,6 +150,7 @@ func NewGraph(numRoads int, edges []EdgeSpec) (*Graph, error) {
 	for i := range g.edges {
 		sortEdges(g.edges[i])
 	}
+	g.raw = g.edges
 	return g, nil
 }
 
@@ -202,18 +210,19 @@ func Build(net *roadnet.Network, db *history.DB, cfg Config) (*Graph, error) {
 		}
 	}
 
-	g := &Graph{edges: make([][]Edge, n)}
+	raw := make([][]Edge, n)
 	for _, s := range accepted {
-		g.edges[s.u] = append(g.edges[s.u], s.e)
+		raw[s.u] = append(raw[s.u], s.e)
 		back := s.e
 		back.To = s.u
-		g.edges[s.v] = append(g.edges[s.v], back)
+		raw[s.v] = append(raw[s.v], back)
 	}
-	for i := range g.edges {
-		sortEdges(g.edges[i])
+	for i := range raw {
+		sortEdges(raw[i])
 	}
+	g := &Graph{edges: raw, raw: raw}
 	if cfg.MaxNeighbors > 0 {
-		pruneToTopK(g, cfg.MaxNeighbors)
+		g.edges = pruneToTopK(raw, cfg.MaxNeighbors)
 	}
 	return g, nil
 }
@@ -263,9 +272,11 @@ func sortEdges(es []Edge) {
 	})
 }
 
-// pruneToTopK keeps an edge when either endpoint ranks it within its top k
-// by agreement, preserving symmetry.
-func pruneToTopK(g *Graph, k int) {
+// pruneToTopK returns fresh neighbour lists keeping an edge when either
+// endpoint ranks it within its top k by agreement, preserving symmetry. The
+// input lists (each sorted by sortEdges) are left untouched: they are the
+// graph's raw view, which Rescore replays pruning from.
+func pruneToTopK(raw [][]Edge, k int) [][]Edge {
 	type pair struct{ a, b roadnet.RoadID }
 	keep := make(map[pair]bool)
 	key := func(a, b roadnet.RoadID) pair {
@@ -274,20 +285,22 @@ func pruneToTopK(g *Graph, k int) {
 		}
 		return pair{a, b}
 	}
-	for u := range g.edges {
-		for rank, e := range g.edges[u] {
+	for u := range raw {
+		for rank, e := range raw[u] {
 			if rank < k {
 				keep[key(roadnet.RoadID(u), e.To)] = true
 			}
 		}
 	}
-	for u := range g.edges {
-		kept := g.edges[u][:0]
-		for _, e := range g.edges[u] {
+	pruned := make([][]Edge, len(raw))
+	for u := range raw {
+		var kept []Edge
+		for _, e := range raw[u] {
 			if keep[key(roadnet.RoadID(u), e.To)] {
 				kept = append(kept, e)
 			}
 		}
-		g.edges[u] = kept
+		pruned[u] = kept
 	}
+	return pruned
 }

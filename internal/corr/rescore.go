@@ -1,0 +1,145 @@
+package corr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/roadnet"
+)
+
+// Rescore builds the correlation graph for an updated history by re-scoring
+// only the pairs incident to dirty roads — the roads whose aggregates (and
+// therefore whose whole relative-speed series) changed since g was built.
+// It is the delta path of Build: the two produce equal graphs whenever
+//
+//   - db differs from the history g was built from only on the dirty roads
+//     (history.Builder.Dirty reports exactly this set), and
+//   - cfg is the configuration g was built with.
+//
+// The equivalence is exact, not approximate: an edge between two clean
+// roads depends only on those two roads' series, so it is reused verbatim;
+// every pair with a dirty endpoint lies within MaxHops of a dirty road and
+// is re-scored with the same scorePair as Build; and the MaxNeighbors
+// pruning — a global rank decision — is replayed over the merged pre-prune
+// lists rather than patched locally.
+//
+// Cost is proportional to the delta: a bounded BFS per dirty road, one
+// scorePair per candidate pair, and an O(edges) pruning sweep. g is not
+// modified; untouched roads share their edge slices with it.
+func Rescore(g *Graph, net *roadnet.Network, db *history.DB, dirty []roadnet.RoadID, cfg Config) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumRoads()
+	if net.NumRoads() != n || db.NumRoads() != n {
+		return nil, fmt.Errorf("corr: rescore over %d-road graph, %d-road network, %d-road history", n, net.NumRoads(), db.NumRoads())
+	}
+	if g.raw == nil {
+		return nil, fmt.Errorf("corr: graph carries no pre-prune edge lists; rebuild it with Build or NewGraph")
+	}
+	dirtySet := make([]bool, n)
+	for _, d := range dirty {
+		if int(d) < 0 || int(d) >= n {
+			return nil, fmt.Errorf("corr: dirty road %d out of range [0,%d)", d, n)
+		}
+		dirtySet[d] = true
+	}
+	if len(dirty) == 0 {
+		return g, nil
+	}
+
+	// Candidate pairs: every unordered pair with a dirty endpoint within
+	// MaxHops — exactly the pairs Build would enumerate whose score may have
+	// changed. BFS from each dirty road; pairs of two dirty roads are
+	// deduplicated by only keeping d < v when v is dirty too.
+	type pairKey struct{ a, b roadnet.RoadID }
+	ordered := func(a, b roadnet.RoadID) pairKey {
+		if a > b {
+			a, b = b, a
+		}
+		return pairKey{a, b}
+	}
+	var pairs []pairKey
+	touched := make([]bool, n) // roads whose raw list may change
+	visitBuf := make([]int, n)
+	for i := range visitBuf {
+		visitBuf[i] = -1
+	}
+	var queue []roadnet.RoadID
+	for _, d := range dirty {
+		touched[d] = true
+		queue = queue[:0]
+		queue = append(queue, d)
+		visitBuf[d] = 0
+		reached := []roadnet.RoadID{d}
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			if visitBuf[cur] >= cfg.MaxHops {
+				continue
+			}
+			for _, nb := range net.Adjacent(cur) {
+				if visitBuf[nb] == -1 {
+					visitBuf[nb] = visitBuf[cur] + 1
+					queue = append(queue, nb)
+					reached = append(reached, nb)
+				}
+			}
+		}
+		for _, v := range reached {
+			if v == d || (dirtySet[v] && v < d) {
+				continue
+			}
+			pairs = append(pairs, ordered(d, v))
+			touched[v] = true
+		}
+		for _, r := range reached {
+			visitBuf[r] = -1
+		}
+	}
+
+	// Rebuild the touched roads' pre-prune lists: keep their clean-clean
+	// edges (unchanged by construction), drop every dirty-incident edge, and
+	// re-add the candidate pairs that still qualify under the new history.
+	raw := make([][]Edge, n)
+	copy(raw, g.raw)
+	for u := range touched {
+		if !touched[u] {
+			continue
+		}
+		var kept []Edge
+		for _, e := range g.raw[u] {
+			if !dirtySet[u] && !dirtySet[e.To] {
+				kept = append(kept, e)
+			}
+		}
+		raw[u] = kept
+	}
+	sort.Slice(pairs, func(i, j int) bool { // deterministic scoring order
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, p := range pairs {
+		e, ok := scorePair(db, p.a, p.b, cfg)
+		if !ok {
+			continue
+		}
+		raw[p.a] = append(raw[p.a], e)
+		back := e
+		back.To = p.a
+		raw[p.b] = append(raw[p.b], back)
+	}
+	for u := range touched {
+		if touched[u] {
+			sortEdges(raw[u])
+		}
+	}
+
+	out := &Graph{edges: raw, raw: raw}
+	if cfg.MaxNeighbors > 0 {
+		out.edges = pruneToTopK(raw, cfg.MaxNeighbors)
+	}
+	return out, nil
+}

@@ -18,7 +18,6 @@ import (
 	"sync"
 
 	"repro/internal/gps"
-	"repro/internal/par"
 	"repro/internal/roadnet"
 	"repro/internal/timeslot"
 )
@@ -154,13 +153,28 @@ func (db *DB) CoObserved(u, v roadnet.RoadID, fn func(slot int32, relU, relV flo
 // AddObservations are safe for concurrent use, so a server can fold in
 // crowd reports from many request goroutines; Finalize must not run
 // concurrently with further Adds.
+//
+// A Builder made by NewBuilderFrom is a *roll-forward* builder: it carries
+// its base DB and recovers a road's aggregates from it lazily, the first
+// time the road receives a new observation. Roads never touched stay
+// untouched — Finalize shares their profile cells and series with the base
+// — and the set of touched (road, slot) aggregates is exposed through
+// Dirty, so downstream consumers (correlation rescoring, incremental
+// retraining) can work on the delta instead of the whole city.
 type Builder struct {
 	cal      *timeslot.Calendar
 	numRoads int
 
 	mu sync.Mutex
-	// agg[road] maps absolute slot → (speed sum, count).
+	// agg[road] maps absolute slot → (speed sum, count). In a roll-forward
+	// builder, nil means the road is untouched and its base data is reused
+	// verbatim.
 	agg []map[int32]sumCount
+	// base is the DB this builder rolls forward, nil for fresh builders.
+	base *DB
+	// dirty[road] is the set of slots with new observations since base;
+	// nil entries mark clean roads. Only tracked when base != nil.
+	dirty []map[int32]struct{}
 }
 
 type sumCount struct {
@@ -193,12 +207,22 @@ func (b *Builder) Add(road roadnet.RoadID, slot int, speed float64) error {
 	}
 	b.mu.Lock()
 	if b.agg[road] == nil {
-		b.agg[road] = make(map[int32]sumCount)
+		if b.base != nil {
+			b.agg[road] = recoverRoad(b.base, road)
+		} else {
+			b.agg[road] = make(map[int32]sumCount)
+		}
 	}
 	sc := b.agg[road][int32(slot)]
 	sc.sum += speed
 	sc.n++
 	b.agg[road][int32(slot)] = sc
+	if b.dirty != nil {
+		if b.dirty[road] == nil {
+			b.dirty[road] = make(map[int32]struct{})
+		}
+		b.dirty[road][int32(slot)] = struct{}{}
+	}
 	b.mu.Unlock()
 	return nil
 }
@@ -217,6 +241,11 @@ func (b *Builder) AddObservations(obs []gps.Observation) error {
 // Finalize computes profiles and relative-speed series and returns the
 // immutable DB. The Builder must not be used afterwards, and no Add may
 // still be in flight when Finalize runs.
+//
+// A roll-forward builder recomputes only the roads that received new
+// observations; every clean road's profile cells and series are shared with
+// the base DB (both are immutable), so finalisation cost is proportional to
+// the delta, not the city.
 func (b *Builder) Finalize() *DB {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -298,56 +327,119 @@ func (b *Builder) Finalize() *DB {
 		}
 		db.series[road] = series
 	}
+
+	// Roll-forward: untouched roads reuse the base DB's data verbatim.
+	// Per-road statistics depend only on that road's own aggregates, so a
+	// road with no new observations finalises to exactly its base values.
+	if b.base != nil {
+		for road := 0; road < b.numRoads; road++ {
+			if b.agg[road] != nil {
+				continue
+			}
+			copy(db.profile[road*spw:(road+1)*spw], b.base.profile[road*spw:(road+1)*spw])
+			db.overall[road] = b.base.overall[road]
+			db.series[road] = b.base.series[road]
+		}
+	}
 	b.agg = nil
 	return db
 }
 
-// NewBuilderFrom reconstructs a Builder from an existing database so new
-// observations can be appended and the database re-finalised — the rolling
-// update a continuously running deployment performs on every model rebuild.
-// The reconstruction recovers each stored slot-level sample as one
-// observation at its recorded mean speed, so profiles recomputed over the
-// union of old and new data match a from-scratch build over the combined
-// observations (slot-level means are preserved exactly; per-slot observation
-// counts inside a slot are not, and are not used by any consumer).
+// Dirty describes the delta a roll-forward builder accumulated on top of
+// its base DB: the roads — and, per road, the slots — whose aggregates
+// changed since the base was finalised. A fresh builder (NewBuilder) has no
+// base to diff against and returns nil, which callers must read as "no
+// delta information", not "no changes".
 //
-// Each road's aggregate is rebuilt independently, so the reconstruction
-// fans out on the internal/par worker pool: rebuilds run concurrently with
-// a serving estimator, and this keeps the offline side of a hot swap short.
+// Dirty reflects the observations added so far; it remains valid after
+// Finalize. A changed (road, slot) aggregate invalidates the whole road's
+// profile and relative series (the road's per-class means shift, rescaling
+// every rel), which is why Roads — not individual slots — is the unit
+// downstream rescoring works in.
+type Dirty struct {
+	// Roads lists the roads with at least one changed aggregate, ascending.
+	Roads []roadnet.RoadID
+	// Slots[i] lists the changed slots of Roads[i], ascending.
+	Slots [][]int32
+}
+
+// NumAggregates returns the number of changed (road, slot) aggregates.
+func (d *Dirty) NumAggregates() int {
+	var n int
+	for _, s := range d.Slots {
+		n += len(s)
+	}
+	return n
+}
+
+// Dirty returns the (road, slot) aggregates changed since the base DB, or
+// nil when the builder was not created by NewBuilderFrom. See type Dirty
+// for the contract.
+func (b *Builder) Dirty() *Dirty {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dirty == nil {
+		return nil
+	}
+	d := &Dirty{}
+	for road, slots := range b.dirty {
+		if len(slots) == 0 {
+			continue
+		}
+		ss := make([]int32, 0, len(slots))
+		for s := range slots {
+			ss = append(ss, s)
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+		d.Roads = append(d.Roads, roadnet.RoadID(road))
+		d.Slots = append(d.Slots, ss)
+	}
+	return d
+}
+
+// recoverRoad rebuilds one road's slot aggregates from a finalised DB,
+// recovering each stored sample as one observation at its recorded mean
+// speed (see NewBuilderFrom for why that reconstruction is sound). The
+// caller holds the builder lock or owns the builder exclusively.
+func recoverRoad(db *DB, road roadnet.RoadID) map[int32]sumCount {
+	series := db.series[road]
+	agg := make(map[int32]sumCount, len(series))
+	for _, s := range series {
+		mean, ok := db.Mean(road, int(s.Slot))
+		if !ok || mean <= 0 {
+			continue
+		}
+		speed := float64(s.Rel) * mean
+		if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+			continue
+		}
+		sc := agg[s.Slot]
+		sc.sum += speed
+		sc.n++
+		agg[s.Slot] = sc
+	}
+	return agg
+}
+
+// NewBuilderFrom returns a roll-forward Builder over an existing database,
+// so new observations can be appended and the database re-finalised — the
+// rolling update a continuously running deployment performs on every model
+// rebuild. Construction is O(roads) regardless of history size: a road's
+// aggregates are recovered from the base lazily, the first time Add touches
+// it, by replaying each stored slot-level sample as one observation at its
+// recorded mean speed. Profiles recomputed over the union of recovered and
+// new data match a from-scratch build over the combined observations
+// (slot-level means are preserved exactly; per-slot observation counts
+// inside a slot are not, and are not used by any consumer). Roads never
+// touched are not recomputed at all: Finalize shares their profile cells
+// and series with the base DB, and Dirty reports exactly the (road, slot)
+// aggregates that changed.
 func NewBuilderFrom(db *DB) (*Builder, error) {
 	b, err := NewBuilder(db.cal, db.numRoads)
 	if err != nil {
 		return nil, err
 	}
-	// Writes go straight into disjoint b.agg[road] slots (the par contract),
-	// bypassing Add's lock and re-validation: every recovered speed is
-	// derived from data a previous Finalize already accepted.
-	par.For(db.numRoads, 0, func(start, end int) {
-		for road := start; road < end; road++ {
-			series := db.series[road]
-			if len(series) == 0 {
-				continue
-			}
-			id := roadnet.RoadID(road)
-			agg := make(map[int32]sumCount, len(series))
-			for _, s := range series {
-				mean, ok := db.Mean(id, int(s.Slot))
-				if !ok || mean <= 0 {
-					continue
-				}
-				speed := float64(s.Rel) * mean
-				if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
-					continue
-				}
-				sc := agg[s.Slot]
-				sc.sum += speed
-				sc.n++
-				agg[s.Slot] = sc
-			}
-			if len(agg) > 0 {
-				b.agg[road] = agg
-			}
-		}
-	})
+	b.base = db
+	b.dirty = make([]map[int32]struct{}, db.numRoads)
 	return b, nil
 }

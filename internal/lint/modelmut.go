@@ -19,9 +19,9 @@ var ModelMut = &Analyzer{
 }
 
 // modelMutAllowed are the package-core functions that may initialise Model
-// fields: the public constructor and the version-stamping builder it shares
-// with the Store.
-var modelMutAllowed = map[string]bool{"New": true, "build": true}
+// fields: the public constructor and the version-stamping builders (full and
+// incremental) it shares with the Store.
+var modelMutAllowed = map[string]bool{"New": true, "build": true, "buildIncremental": true}
 
 func runModelMut(p *Pass) error {
 	inCore := p.Pkg.Name() == "core"

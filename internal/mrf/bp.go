@@ -28,6 +28,8 @@ var (
 		"Total BP inference runs.")
 	bpBufReuse = obs.Default().Counter("trendspeed_bp_buffer_reuse_total",
 		"BP message buffers served from the pool instead of freshly allocated.")
+	bpWarmStarts = obs.Default().Counter("trendspeed_bp_warm_starts_total",
+		"BP runs seeded from prior converged beliefs instead of uniform messages.")
 )
 
 // BPConfig parameterises loopy belief propagation.
@@ -111,7 +113,14 @@ func (b *BP) getBuf(size int) []float64 {
 // the run with an error wrapping ctx.Err(). The pooled message buffers are
 // returned on every exit path — par joins all workers before reporting
 // cancellation, so no goroutine still writes to them.
-func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error) {
+//
+// When warm holds beliefs compatible with the model's topology, messages
+// start from that converged state instead of uniform; fixed-point messages
+// are attracting under damping, so a run over slightly perturbed agreements
+// converges in fewer rounds to the same fixed point it would reach cold.
+// Incompatible or nil warm falls back to the uniform start. Successful runs
+// export their own converged messages as Result.Beliefs.
+func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *Beliefs) (*Result, error) {
 	ev, err := evidenceMap(m, evidence)
 	if err != nil {
 		return nil, err
@@ -125,7 +134,8 @@ func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result,
 
 	// Directed-edge message storage in the topology's CSR layout: slot i in
 	// [off[u], off[u+1]) is the message from neighbour to[i] into u, as
-	// P(up). Initialise uniform. Every slot is rewritten each round (its
+	// P(up). Initialise uniform, or from warm beliefs when their topology
+	// shares this one's shape. Every slot is rewritten each round (its
 	// sender always has ≥ 1 neighbour), so the round boundary is a pointer
 	// swap, not a copy.
 	msg := b.getBuf(nEdges)
@@ -134,8 +144,13 @@ func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result,
 		b.pool.Put(msg[:cap(msg)])
 		b.pool.Put(next[:cap(next)])
 	}()
-	for i := range msg {
-		msg[i] = 0.5
+	if warm.Compatible(topo) {
+		copy(msg, warm.msg)
+		bpWarmStarts.Inc()
+	} else {
+		for i := range msg {
+			msg[i] = 0.5
+		}
 	}
 
 	// nodePot returns the unnormalised (up, down) potential of u given
@@ -240,7 +255,10 @@ func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result,
 	if readErr != nil {
 		return nil, fmt.Errorf("mrf: bp marginal readout cancelled: %w", readErr)
 	}
-	return &Result{PUp: out}, nil
+	// Export the converged messages (msg is pooled, so copy) for callers
+	// that warm-start a successor model over the same topology shape.
+	beliefs := &Beliefs{topo: topo, msg: append([]float64(nil), msg...)}
+	return &Result{PUp: out, Beliefs: beliefs}, nil
 }
 
 // clamp01 keeps probabilities strictly inside (0, 1) for log safety.

@@ -33,7 +33,7 @@ func TestEnginesCancelledAtEntry(t *testing.T) {
 	cancel()
 	engines := []Engine{mustBP(t), Exact{}, ICM{}, Gibbs{Burn: 5, Samples: 10, Seed: 1}, PriorOnly{}}
 	for _, eng := range engines {
-		res, err := eng.Infer(ctx, m, []Evidence{{Road: 0, Up: true}})
+		res, err := eng.Infer(ctx, m, []Evidence{{Road: 0, Up: true}}, nil)
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", eng.Name(), err)
 		}
@@ -50,7 +50,7 @@ func TestEnginesCancelledAtEntry(t *testing.T) {
 func TestBPCancelMidInference(t *testing.T) {
 	m := mustModel(t, chainGraph(t, 40, 0.9), uniformPriors(40, 0.5))
 	ctx := &countdownCtx{Context: context.Background(), after: 3}
-	res, err := mustBP(t).Infer(ctx, m, []Evidence{{Road: 0, Up: true}})
+	res, err := mustBP(t).Infer(ctx, m, []Evidence{{Road: 0, Up: true}}, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -66,11 +66,11 @@ func TestBPCompletesOnLiveContext(t *testing.T) {
 	m := mustModel(t, chainGraph(t, 8, 0.8), uniformPriors(8, 0.5))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	want, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}})
+	want, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := mustBP(t).Infer(ctx, m, []Evidence{{Road: 0, Up: true}})
+	got, err := mustBP(t).Infer(ctx, m, []Evidence{{Road: 0, Up: true}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestExactCancelMidEnumeration(t *testing.T) {
 	// 16 nodes → 65536 masks → several cancelCheckMasks boundaries.
 	m := mustModel(t, chainGraph(t, 16, 0.7), uniformPriors(16, 0.5))
 	ctx := &countdownCtx{Context: context.Background(), after: 2}
-	if _, err := (Exact{}).Infer(ctx, m, nil); !errors.Is(err, context.Canceled) {
+	if _, err := (Exact{}).Infer(ctx, m, nil, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -118,6 +118,10 @@ func (m *Model) Prior(id roadnet.RoadID) float64 { return m.prior[id] }
 type Result struct {
 	// PUp[r] is the posterior probability that road r's trend is up.
 	PUp []float64
+	// Beliefs is the converged message state of the run, usable to
+	// warm-start a later run over a compatible topology. Only
+	// message-passing engines (BP) produce it; others leave it nil.
+	Beliefs *Beliefs
 }
 
 // Up reports the MAP trend of road r under the marginals.
@@ -130,7 +134,12 @@ type Engine interface {
 	// ICM/Gibbs sweeps, enumeration batches) and return ctx.Err() — possibly
 	// wrapped — once it is cancelled, so an abandoned estimation round stops
 	// burning CPU mid-inference instead of running to completion.
-	Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error)
+	//
+	// warm optionally seeds the engine with a prior run's converged state
+	// (see Beliefs); engines that cannot use it — or receive beliefs
+	// incompatible with the model's topology — silently ignore it. Passing
+	// nil always yields the engine's cold-start behaviour.
+	Infer(ctx context.Context, m *Model, evidence []Evidence, warm *Beliefs) (*Result, error)
 	// Name identifies the engine in experiment output.
 	Name() string
 }
@@ -176,8 +185,9 @@ type PriorOnly struct{}
 func (PriorOnly) Name() string { return "prior" }
 
 // Infer implements Engine. The prior readout is a single pass, so ctx is
-// only consulted at entry.
-func (PriorOnly) Infer(ctx context.Context, m *Model, evidence []Evidence) (*Result, error) {
+// only consulted at entry; warm is ignored (there is no iterative state to
+// seed).
+func (PriorOnly) Infer(ctx context.Context, m *Model, evidence []Evidence, _ *Beliefs) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -87,14 +87,14 @@ func TestEvidenceValidation(t *testing.T) {
 	g := chainGraph(t, 3, 0.8)
 	m := mustModel(t, g, uniformPriors(3, 0.5))
 	bp := mustBP(t)
-	if _, err := bp.Infer(context.Background(), m, []Evidence{{Road: 99, Up: true}}); err == nil {
+	if _, err := bp.Infer(context.Background(), m, []Evidence{{Road: 99, Up: true}}, nil); err == nil {
 		t.Error("out-of-range evidence accepted")
 	}
-	if _, err := bp.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}, {Road: 0, Up: false}}); err == nil {
+	if _, err := bp.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}, {Road: 0, Up: false}}, nil); err == nil {
 		t.Error("conflicting evidence accepted")
 	}
 	// Duplicate consistent evidence is fine.
-	if _, err := bp.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}, {Road: 0, Up: true}}); err != nil {
+	if _, err := bp.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}, {Road: 0, Up: true}}, nil); err != nil {
 		t.Errorf("consistent duplicate evidence rejected: %v", err)
 	}
 }
@@ -121,7 +121,7 @@ func TestEvidencePropagatesAlongChain(t *testing.T) {
 	g := chainGraph(t, n, 0.9)
 	m := mustModel(t, g, uniformPriors(n, 0.5))
 	for _, eng := range []Engine{mustBP(t), Gibbs{Seed: 1, Samples: 2000, Burn: 200}} {
-		res, err := eng.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}})
+		res, err := eng.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}}, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", eng.Name(), err)
 		}
@@ -150,7 +150,7 @@ func TestEvidencePropagatesAlongChain(t *testing.T) {
 func TestDownEvidencePullsDown(t *testing.T) {
 	g := chainGraph(t, 3, 0.85)
 	m := mustModel(t, g, uniformPriors(3, 0.5))
-	res, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: false}})
+	res, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: false}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +174,11 @@ func TestBPMatchesExactOnTree(t *testing.T) {
 	priors := []float64{0.3, 0.6, 0.5, 0.7, 0.4}
 	m := mustModel(t, g, priors)
 	evidence := []Evidence{{Road: 2, Up: true}}
-	exact, err := Exact{}.Infer(context.Background(), m, evidence)
+	exact, err := Exact{}.Infer(context.Background(), m, evidence, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bpRes, err := mustBP(t).Infer(context.Background(), m, evidence)
+	bpRes, err := mustBP(t).Infer(context.Background(), m, evidence, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +196,11 @@ func TestBPCloseToExactOnLoop(t *testing.T) {
 	priors := []float64{0.4, 0.5, 0.6, 0.5}
 	m := mustModel(t, g, priors)
 	evidence := []Evidence{{Road: 0, Up: true}}
-	exact, err := Exact{}.Infer(context.Background(), m, evidence)
+	exact, err := Exact{}.Infer(context.Background(), m, evidence, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bpRes, err := mustBP(t).Infer(context.Background(), m, evidence)
+	bpRes, err := mustBP(t).Infer(context.Background(), m, evidence, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,12 +215,12 @@ func TestGibbsApproximatesExact(t *testing.T) {
 	g := loopGraph(t, 0.8)
 	m := mustModel(t, g, []float64{0.5, 0.5, 0.5, 0.5})
 	evidence := []Evidence{{Road: 0, Up: true}}
-	exact, err := Exact{}.Infer(context.Background(), m, evidence)
+	exact, err := Exact{}.Infer(context.Background(), m, evidence, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	gb := Gibbs{Seed: 7, Burn: 300, Samples: 4000}
-	res, err := gb.Infer(context.Background(), m, evidence)
+	res, err := gb.Infer(context.Background(), m, evidence, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,8 +235,8 @@ func TestGibbsDeterministicForSeed(t *testing.T) {
 	g := chainGraph(t, 4, 0.8)
 	m := mustModel(t, g, uniformPriors(4, 0.5))
 	ev := []Evidence{{Road: 0, Up: true}}
-	a, _ := Gibbs{Seed: 3}.Infer(context.Background(), m, ev)
-	b, _ := Gibbs{Seed: 3}.Infer(context.Background(), m, ev)
+	a, _ := Gibbs{Seed: 3}.Infer(context.Background(), m, ev, nil)
+	b, _ := Gibbs{Seed: 3}.Infer(context.Background(), m, ev, nil)
 	for i := range a.PUp {
 		if a.PUp[i] != b.PUp[i] {
 			t.Fatal("same seed produced different marginals")
@@ -249,14 +249,14 @@ func TestICMFollowsStrongEvidence(t *testing.T) {
 	// clamped trend despite a mild opposing prior.
 	g := chainGraph(t, 2, 0.9)
 	m := mustModel(t, g, uniformPriors(2, 0.45))
-	res, err := ICM{}.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}})
+	res, err := ICM{}.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Up(1) {
 		t.Error("ICM did not follow up evidence")
 	}
-	res, err = ICM{}.Infer(context.Background(), m, []Evidence{{Road: 0, Up: false}})
+	res, err = ICM{}.Infer(context.Background(), m, []Evidence{{Road: 0, Up: false}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,14 +273,14 @@ func TestICMStopsAtLocalOptimum(t *testing.T) {
 	n := 5
 	g := chainGraph(t, n, 0.9)
 	m := mustModel(t, g, uniformPriors(n, 0.45))
-	res, err := ICM{}.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}})
+	res, err := ICM{}.Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Up(4) {
 		t.Error("expected ICM to be stuck; if it now escapes, tighten this test")
 	}
-	bpRes, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}})
+	bpRes, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestICMStopsAtLocalOptimum(t *testing.T) {
 func TestExactRefusesLargeProblems(t *testing.T) {
 	g := chainGraph(t, 30, 0.8)
 	m := mustModel(t, g, uniformPriors(30, 0.5))
-	if _, err := (Exact{}).Infer(context.Background(), m, nil); err == nil {
+	if _, err := (Exact{}).Infer(context.Background(), m, nil, nil); err == nil {
 		t.Error("exact inference over 30 free nodes accepted")
 	}
 	// Clamping most nodes brings the free count under a raised cap.
@@ -300,7 +300,7 @@ func TestExactRefusesLargeProblems(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		ev = append(ev, Evidence{Road: roadnet.RoadID(i), Up: true})
 	}
-	if _, err := (Exact{MaxFreeNodes: 12}).Infer(context.Background(), m, ev); err != nil {
+	if _, err := (Exact{MaxFreeNodes: 12}).Infer(context.Background(), m, ev, nil); err != nil {
 		t.Errorf("10 free nodes under a 12-node cap rejected: %v", err)
 	}
 }
@@ -308,7 +308,7 @@ func TestExactRefusesLargeProblems(t *testing.T) {
 func TestPriorOnlyEngine(t *testing.T) {
 	g := chainGraph(t, 3, 0.9)
 	m := mustModel(t, g, []float64{0.2, 0.5, 0.8})
-	res, err := PriorOnly{}.Infer(context.Background(), m, []Evidence{{Road: 1, Up: true}})
+	res, err := PriorOnly{}.Infer(context.Background(), m, []Evidence{{Road: 1, Up: true}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +327,7 @@ func TestIsolatedNodesKeepPrior(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := mustModel(t, g, []float64{0.5, 0.5, 0.7})
-	res, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}})
+	res, err := mustBP(t).Infer(context.Background(), m, []Evidence{{Road: 0, Up: true}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,7 +53,7 @@ func TestBPMarginalsAreProbabilities(t *testing.T) {
 		if n > 2 {
 			ev = append(ev, Evidence{Road: roadnet.RoadID(rng.Intn(n)), Up: rng.Intn(2) == 0})
 		}
-		res, err := bp.Infer(context.Background(), m, ev)
+		res, err := bp.Infer(context.Background(), m, ev, nil)
 		if err != nil {
 			return false
 		}
@@ -100,11 +100,11 @@ func TestGlobalFlipSymmetry(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			r1, err := eng.Infer(context.Background(), m1, []Evidence{{Road: evRoad, Up: true}})
+			r1, err := eng.Infer(context.Background(), m1, []Evidence{{Road: evRoad, Up: true}}, nil)
 			if err != nil {
 				return false
 			}
-			r2, err := eng.Infer(context.Background(), m2, []Evidence{{Road: evRoad, Up: false}})
+			r2, err := eng.Infer(context.Background(), m2, []Evidence{{Road: evRoad, Up: false}}, nil)
 			if err != nil {
 				return false
 			}
@@ -145,7 +145,7 @@ func TestTemperLimitsApproachPrior(t *testing.T) {
 	if err := model.SetEdgeTemper(0.01); err != nil {
 		t.Fatal(err)
 	}
-	res, err := bp.Infer(context.Background(), model, ev)
+	res, err := bp.Infer(context.Background(), model, ev, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,11 +87,11 @@ func TestModelWithTopologyMatchesFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := bp.Infer(context.Background(), fresh, nil)
+	rf, err := bp.Infer(context.Background(), fresh, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := bp.Infer(context.Background(), shared, nil)
+	rs, err := bp.Infer(context.Background(), shared, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func BenchmarkBPInfer(b *testing.B) {
 				if err := m.SetEdgeTemper(0.2); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := bp.Infer(context.Background(), m, nil); err != nil {
+				if _, err := bp.Infer(context.Background(), m, nil, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
