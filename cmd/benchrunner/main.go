@@ -48,11 +48,13 @@ func main() {
 	obs.RegisterBuildInfo(obs.Default())
 
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2), all, or none")
-		fast    = flag.Bool("fast", false, "reduced dataset scale for smoke runs")
-		out     = flag.String("out", "", "write a markdown report to this path")
-		jsonOut = flag.String("json", "", "write a JSON report (experiment timings + metrics registry snapshot) to this path")
-		rebuild = flag.Bool("rebuild-bench", false, "measure an incremental vs full model rebuild on the same delta and gate on the equivalence bound (recorded under rebuild_incremental in -json)")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2), all, or none")
+		fast       = flag.Bool("fast", false, "reduced dataset scale for smoke runs")
+		out        = flag.String("out", "", "write a markdown report to this path")
+		jsonOut    = flag.String("json", "", "write a JSON report (experiment timings + metrics registry snapshot) to this path")
+		rebuild    = flag.Bool("rebuild-bench", false, "measure an incremental vs full model rebuild on the same delta and gate on the equivalence bound (recorded under rebuild_incremental in -json)")
+		shardBench = flag.Bool("shard-bench", false, "sweep the shard counts from -shards at two network sizes, gate K=4 boundary stitching on the equivalence bound, and record build/estimate/localized-rebuild timings (under shard_scale in -json)")
+		shards     = flag.String("shards", "1,4,16", "comma-separated shard counts compared by -shard-bench")
 	)
 	flag.Parse()
 
@@ -126,6 +128,11 @@ func main() {
 		rebuildRec = runRebuildBench(*fast)
 	}
 
+	var shardRec *shardBenchRecord
+	if *shardBench {
+		shardRec = runShardBench(*fast, parseShardCounts(*shards))
+	}
+
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
 			log.Fatal(err)
@@ -147,8 +154,12 @@ func main() {
 			// Rebuild carries the incremental-vs-full rebuild comparison of
 			// -rebuild-bench: duration per mode, speedup, and the estimate
 			// divergence against the equivalence bounds.
-			Rebuild *rebuildRecord                `json:"rebuild_incremental,omitempty"`
-			Metrics map[string]obs.FamilySnapshot `json:"metrics"`
+			Rebuild *rebuildRecord `json:"rebuild_incremental,omitempty"`
+			// ShardScale carries the -shard-bench sweep: per shard count and
+			// network size, the cold build, per-round estimate and localized
+			// rebuild timings plus the stitching divergence against K=1.
+			ShardScale *shardBenchRecord             `json:"shard_scale,omitempty"`
+			Metrics    map[string]obs.FamilySnapshot `json:"metrics"`
 		}{
 			GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
 			Fast:            *fast,
@@ -157,6 +168,7 @@ func main() {
 			Experiments:     runs,
 			EstimateLatency: core.EstimateLatencyQuantiles(),
 			Rebuild:         rebuildRec,
+			ShardScale:      shardRec,
 			Metrics:         obs.Default().Snapshot(),
 		}
 		raw, err := json.MarshalIndent(doc, "", "  ")

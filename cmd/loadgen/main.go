@@ -68,6 +68,7 @@ type options struct {
 	sloShed  float64
 	sloErr   float64
 	seed     int64
+	shards   int
 }
 
 func main() {
@@ -90,6 +91,7 @@ func main() {
 	flag.Float64Var(&opt.sloShed, "slo-shed", 0, "SLO gate: max estimate shed+deadline rate in [0,1] (0 disables)")
 	flag.Float64Var(&opt.sloErr, "slo-error", 0, "SLO gate: max estimate error rate in [0,1] (0 disables)")
 	flag.Int64Var(&opt.seed, "seed", 1, "base PRNG seed for request generation")
+	flag.IntVar(&opt.shards, "shards", 1, "district shard count for the -smoke store (1 = unsharded; ignored with a live target)")
 	flag.Parse()
 
 	report, err := execute(&opt, log.Printf)
@@ -140,8 +142,14 @@ func execute(opt *options, logf func(string, ...any)) (*Report, error) {
 	mode := "live"
 	if opt.smoke {
 		mode = "smoke"
-		logf("training in-process model over %d roads...", ds.Net.NumRoads())
-		store, err := core.NewStore(ds.Net, ds.DB, core.DefaultOptions())
+		copts := core.DefaultOptions()
+		copts.Shards = opt.shards
+		if opt.shards > 1 {
+			logf("training %d in-process district shards over %d roads...", opt.shards, ds.Net.NumRoads())
+		} else {
+			logf("training in-process model over %d roads...", ds.Net.NumRoads())
+		}
+		store, err := core.NewStore(ds.Net, ds.DB, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +190,7 @@ func execute(opt *options, logf func(string, ...any)) (*Report, error) {
 		Target:      target,
 		City:        opt.city,
 		Workers:     opt.workers,
+		Shards:      opt.shards,
 		RatePerSec:  opt.rate,
 		DurationSec: opt.duration.Seconds(),
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -32,6 +33,40 @@ func TestParseScriptBuiltins(t *testing.T) {
 	if w.Estimate.Reports != 60 || w.Estimate.Noise != 0.05 {
 		t.Errorf("rush-hour estimate params = %+v", w.Estimate)
 	}
+	w, err = ParseScript("shard-skew", scriptShardSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Skew == nil || w.Skew.HotLoPct != 0 || w.Skew.HotHiPct != 10 || w.Skew.Frac != 0.9 {
+		t.Errorf("shard-skew skew = %+v, want hot 0..10 frac 0.9", w.Skew)
+	}
+}
+
+// TestIngestRoadSkew draws from a skewed generator and checks the hot slice
+// actually receives ~frac of the traffic.
+func TestIngestRoadSkew(t *testing.T) {
+	w, err := ParseScript("shard-skew", scriptShardSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &generator{workload: w, numRoads: 200}
+	rng := rand.New(rand.NewSource(1))
+	const draws = 20000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		r := g.ingestRoad(rng)
+		if r < 0 || int(r) >= g.numRoads {
+			t.Fatalf("road %d out of range [0, %d)", r, g.numRoads)
+		}
+		if int(r) < g.numRoads/10 {
+			hot++
+		}
+	}
+	// Expected hot share: frac + (1-frac)·10% = 0.91; allow generous slack.
+	got := float64(hot) / draws
+	if got < 0.85 || got > 0.97 {
+		t.Errorf("hot-slice share = %.3f, want ≈ 0.91", got)
+	}
 }
 
 func TestParseScriptErrors(t *testing.T) {
@@ -43,6 +78,8 @@ func TestParseScriptErrors(t *testing.T) {
 		{"badweight", "mix estimate=-3", "non-negative"},
 		{"badrange", "mix seeds=10\nseeds k=60..10", "1 ≤ lo ≤ hi"},
 		{"badhours", "mix estimate=1\nreplay hours=10..7", "0 ≤ from < to ≤ 24"},
+		{"badskewrange", "mix ingest=1\nskew hot=30..20", "0 ≤ lo < hi ≤ 100"},
+		{"badskewfrac", "mix ingest=1\nskew hot=0..10 frac=1.5", "must be in (0, 1]"},
 		{"unknownfield", "mix estimate=1\nestimate reprots=40", "unknown field"},
 		{"dupfield", "mix estimate=1 estimate=2", "duplicate field"},
 	} {
@@ -71,6 +108,10 @@ func TestSmokeRun(t *testing.T) {
 		timeout:  10 * time.Second,
 		sloErr:   0.01,
 		seed:     1,
+		// Two districts: the whole HTTP serving path runs against a sharded
+		// store, so stitching, per-shard metrics and the staggered rebuilds
+		// the ingest workloads trigger all get end-to-end coverage.
+		shards: 2,
 	}
 	report, err := execute(opt, t.Logf)
 	if err != nil {

@@ -25,6 +25,12 @@ type Workload struct {
 	// Replay, when set, drives estimate operations from ground-truth frames
 	// of the simulated hours window instead of the single post-history slot.
 	Replay *ReplayParams
+	// Skew, when set, concentrates ingest traffic on a hot slice of the
+	// road-ID space (road IDs are spatially ordered in the grid datasets, so
+	// a contiguous slice approximates one district). Estimate seeds keep
+	// sampling the whole network, so a sharded target must stitch across the
+	// hot district's boundary while rebuilding only the hot district.
+	Skew *SkewParams
 }
 
 // EstimateParams shapes POST /v1/estimate requests.
@@ -51,6 +57,12 @@ type ReplayParams struct {
 	HourFrom, HourTo int // half-open local-hour window [from, to)
 }
 
+// SkewParams shapes the hot-slice bias of ingest road draws.
+type SkewParams struct {
+	HotLoPct, HotHiPct int     // hot slice of road-ID space, in percent [lo, hi)
+	Frac               float64 // probability an ingest observation lands in the hot slice
+}
+
 // Built-in workload scripts, in the same line format -script files use.
 const (
 	scriptEstimateHeavy = `# Estimation-dominated serving mix: the paper's real-time loop.
@@ -73,6 +85,14 @@ mix estimate=100
 estimate reports=60 noise=0.05
 replay hours=7..10
 `
+	scriptShardSkew = `# Hot-district ingest with network-wide estimate seeds: a sharded target
+# should keep rebuilding only the hot district while boundary stitching
+# serves the cross-district estimates (run the smoke store with -shards).
+mix ingest=60 estimate=40
+ingest batch=120 noise=0.10
+skew hot=0..10 frac=0.9
+estimate reports=40 noise=0.15
+`
 )
 
 // builtinScripts maps -workload names to their scripts.
@@ -81,10 +101,11 @@ var builtinScripts = map[string]string{
 	"ingest-heavy":   scriptIngestHeavy,
 	"seeds-churn":    scriptSeedsChurn,
 	"rush-hour":      scriptRushHour,
+	"shard-skew":     scriptShardSkew,
 }
 
 // workloadOrder is the -workload all execution order.
-var workloadOrder = []string{"estimate-heavy", "ingest-heavy", "seeds-churn", "rush-hour"}
+var workloadOrder = []string{"estimate-heavy", "ingest-heavy", "seeds-churn", "rush-hour", "shard-skew"}
 
 // ParseScript parses a workload script. The format is line-based: blank
 // lines and #-comments are skipped, every other line is a directive followed
@@ -156,6 +177,22 @@ func ParseScript(name, src string) (*Workload, error) {
 					name, ln+1, rp.HourFrom, rp.HourTo)
 			}
 			w.Replay = rp
+		case "skew":
+			sp := &SkewParams{Frac: 0.9}
+			if err := assign(pairs, map[string]any{
+				"hot":  rangeTarget{&sp.HotLoPct, &sp.HotHiPct},
+				"frac": &sp.Frac,
+			}); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, ln+1, err)
+			}
+			if sp.HotLoPct < 0 || sp.HotHiPct > 100 || sp.HotLoPct >= sp.HotHiPct {
+				return nil, fmt.Errorf("%s:%d: skew hot=%d..%d must satisfy 0 ≤ lo < hi ≤ 100",
+					name, ln+1, sp.HotLoPct, sp.HotHiPct)
+			}
+			if sp.Frac <= 0 || sp.Frac > 1 {
+				return nil, fmt.Errorf("%s:%d: skew frac=%g must be in (0, 1]", name, ln+1, sp.Frac)
+			}
+			w.Skew = sp
 		default:
 			return nil, fmt.Errorf("%s:%d: unknown directive %q", name, ln+1, directive)
 		}
@@ -349,12 +386,28 @@ func (g *generator) ingestOp(rng *rand.Rand) op {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		road := roadnet.RoadID(rng.Intn(g.numRoads))
+		road := g.ingestRoad(rng)
 		speed := f.speeds[road] * noiseFactor(rng, g.workload.Ingest.Noise)
 		fmt.Fprintf(&sb, `{"road":%d,"slot":%d,"speed_mps":%s}`, road, f.slot, formatSpeed(speed))
 	}
 	sb.WriteString("]}")
 	return op{kind: "ingest", path: "/v1/observations", body: sb.String()}
+}
+
+// ingestRoad draws one observation's road, honouring the workload's hot-slice
+// skew when one is configured. The hot slice is computed in road-ID space;
+// with fewer than ~100 roads the slice still covers at least one road.
+func (g *generator) ingestRoad(rng *rand.Rand) roadnet.RoadID {
+	sk := g.workload.Skew
+	if sk == nil || rng.Float64() >= sk.Frac {
+		return roadnet.RoadID(rng.Intn(g.numRoads))
+	}
+	lo := g.numRoads * sk.HotLoPct / 100
+	hi := g.numRoads * sk.HotHiPct / 100
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return roadnet.RoadID(lo + rng.Intn(hi-lo))
 }
 
 // noiseFactor returns a multiplicative log-normal factor exp(σ·N(0,1)).

@@ -70,6 +70,8 @@ func main() {
 		incFrac     = flag.Float64("incremental-max-dirty-frac", 0.25, "rebuild incrementally when the buffered delta touches at most this fraction of roads (0 forces full rebuilds)")
 		estTimeout  = flag.Duration("estimate-timeout", 10*time.Second, "per-request inference deadline on /v1/estimate and /v1/map; expiry cancels the round and answers 503 (0 disables)")
 		maxEst      = flag.Int("max-inflight-estimates", 2*runtime.GOMAXPROCS(0), "max concurrent estimation rounds before excess requests are shed with 429 (0 disables admission control)")
+		shards      = flag.Int("shards", 1, "partition the network into this many district shards with boundary stitching (1 = unsharded)")
+		stitchRnds  = flag.Int("stitch-rounds", 0, "BP/stitch exchange rounds per estimate on sharded deployments (0 = default)")
 		logFormat   = flag.String("log-format", "json", "per-request structured log encoding on stderr: json or text")
 		logLevel    = flag.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
 	)
@@ -117,16 +119,23 @@ func main() {
 		net, db = d.Net, d.DB
 	}
 
-	log.Printf("training model over %d roads...", net.NumRoads())
+	opts := core.DefaultOptions()
+	opts.Shards = *shards
+	opts.StitchRounds = *stitchRnds
+	if *shards > 1 {
+		log.Printf("training %d district shards over %d roads...", *shards, net.NumRoads())
+	} else {
+		log.Printf("training model over %d roads...", net.NumRoads())
+	}
 	t0 := time.Now()
-	store, err := core.NewStore(net, db, core.DefaultOptions())
+	store, err := core.NewStore(net, db, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("model v%d trained in %v", store.Model().Version(), time.Since(t0).Round(time.Millisecond))
-	store.OnSwap(func(old, m *core.Model) {
+	log.Printf("model v%d trained in %v", store.View().Version(), time.Since(t0).Round(time.Millisecond))
+	store.OnSwap(func(old, v *core.View) {
 		log.Printf("model v%d → v%d (%d observations, rebuilt in %v)",
-			old.Version(), m.Version(), m.ObservationCount(), m.BuildDuration().Round(time.Millisecond))
+			old.Version(), v.Version(), v.ObservationCount(), v.BuildDuration().Round(time.Millisecond))
 	})
 	if *rebuildTTL > 0 || *rebuildObs > 0 {
 		store.Start(core.StoreConfig{

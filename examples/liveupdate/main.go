@@ -31,12 +31,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer st.Close()
-	st.OnSwap(func(old, m *speedest.Model) {
+	st.OnSwap(func(old, v *speedest.View) {
 		fmt.Printf("swap: model v%d → v%d (%d observations folded in)\n",
-			old.Version(), m.Version(), m.ObservationCount()-old.ObservationCount())
+			old.Version(), v.Version(), v.ObservationCount()-old.ObservationCount())
 	})
 	fmt.Printf("store publishes model v%d over %d roads\n",
-		st.Model().Version(), d.Net.NumRoads())
+		st.View().Version(), d.Net.NumRoads())
 
 	// 2. Seed selection and a crowd round on version 1.
 	k := d.Net.NumRoads() / 10

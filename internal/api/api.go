@@ -192,7 +192,7 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 		estTimeout:   cfg.EstimateTimeout,
 		seedCache:    map[seedKey][]roadnet.RoadID{},
 		seedInflight: map[seedKey]*seedCall{},
-		seedVersion:  store.Model().Version(),
+		seedVersion:  store.View().Version(),
 	}
 	if s.log == nil {
 		s.log = obs.NopLogger()
@@ -204,10 +204,11 @@ func NewServerWith(store *core.Store, cfg Config) (*Server, error) {
 	if cfg.MaxInflightEstimates > 0 {
 		s.estSem = make(chan struct{}, cfg.MaxInflightEstimates)
 	}
-	// Drop seed sets selected against superseded models as soon as a
+	// Drop seed sets selected against superseded views as soon as a
 	// rebuild swaps; lookups are version-keyed anyway, so this is purely
-	// reclaiming memory and keeping the entries gauge honest.
-	store.OnSwap(func(_, m *core.Model) { s.dropStaleSeeds(m.Version()) })
+	// reclaiming memory and keeping the entries gauge honest. A staggered
+	// sharded rebuild fires this once per district swap.
+	store.OnSwap(func(_, v *core.View) { s.dropStaleSeeds(v.Version()) })
 	s.handle("GET", "/health", s.handleHealth)
 	s.handle("GET", "/v1/info", s.handleInfo)
 	s.handle("GET", "/v1/model", s.handleModel)
@@ -535,23 +536,37 @@ type infoResponse struct {
 	CorrMeanDegree float64 `json:"corr_mean_degree"`
 	SlotMinutes    float64 `json:"slot_minutes"`
 	ModelVersion   uint64  `json:"model_version"`
+	// Shards is the district count; 1 for an unsharded deployment.
+	Shards int `json:"shards"`
+	// BoundaryEdges counts correlation edges crossing a district boundary;
+	// 0 when unsharded.
+	BoundaryEdges int `json:"boundary_edges"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
-	m := s.store.Model()
-	net := m.Net()
+	v := s.store.View()
+	net := v.Net()
+	edges, boundary := v.CorrEdges()
+	meanDeg := 0.0
+	if net.NumRoads() > 0 {
+		meanDeg = 2 * float64(edges) / float64(net.NumRoads())
+	}
 	writeJSON(w, http.StatusOK, infoResponse{
 		Roads:          net.NumRoads(),
 		Junctions:      net.NumNodes(),
 		LengthKM:       net.TotalLength() / 1000,
-		CorrEdges:      m.Graph().NumEdges(),
-		CorrMeanDegree: m.Graph().MeanDegree(),
-		SlotMinutes:    m.DB().Cal().Width().Minutes(),
-		ModelVersion:   m.Version(),
+		CorrEdges:      edges,
+		CorrMeanDegree: meanDeg,
+		SlotMinutes:    v.Calendar().Width().Minutes(),
+		ModelVersion:   v.Version(),
+		Shards:         v.NumShards(),
+		BoundaryEdges:  boundary,
 	})
 }
 
-// modelResponse describes the currently published model artifact.
+// modelResponse describes the currently published view: the aggregate
+// lifecycle fields every deployment has, plus one shardStatus per district
+// on sharded deployments.
 type modelResponse struct {
 	Version          uint64  `json:"version"`
 	BuiltAt          string  `json:"built_at"`
@@ -559,24 +574,60 @@ type modelResponse struct {
 	Observations     int     `json:"observations"`
 	BufferedPending  int     `json:"buffered_observations"`
 	StalenessSeconds float64 `json:"staleness_seconds"`
-	// RebuildMode is how the model was built: "full" or "incremental".
+	// RebuildMode is how the most recently rebuilt district was built:
+	// "full" or "incremental".
 	RebuildMode string `json:"rebuild_mode"`
+	// Shards lists every district of a sharded deployment; omitted when
+	// unsharded.
+	Shards []shardStatus `json:"shards,omitempty"`
 }
 
-// handleModel reports the published model's version and build metadata —
+// shardStatus is one district's slice of the published view.
+type shardStatus struct {
+	Index int `json:"index"`
+	// Version is the district model's own version; districts rebuild and
+	// bump independently of the view version.
+	Version       uint64 `json:"version"`
+	Roads         int    `json:"roads"`
+	HaloRoads     int    `json:"halo_roads"`
+	BoundaryEdges int    `json:"boundary_edges"`
+	BuiltAt       string `json:"built_at"`
+	RebuildMode   string `json:"rebuild_mode"`
+}
+
+// handleModel reports the published view's version and build metadata —
 // the endpoint an operator polls to confirm ingested observations actually
-// turned into a rebuild.
+// turned into a rebuild (and, when sharded, which district they landed in).
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	m := s.store.Model()
-	writeJSON(w, http.StatusOK, modelResponse{
-		Version:          m.Version(),
-		BuiltAt:          m.BuiltAt().UTC().Format(time.RFC3339Nano),
-		BuildSeconds:     m.BuildDuration().Seconds(),
-		Observations:     m.ObservationCount(),
+	v := s.store.View()
+	resp := modelResponse{
+		Version:          v.Version(),
+		BuiltAt:          v.BuiltAt().UTC().Format(time.RFC3339Nano),
+		BuildSeconds:     v.BuildDuration().Seconds(),
+		Observations:     v.ObservationCount(),
 		BufferedPending:  s.store.BufferedObservations(),
-		StalenessSeconds: time.Since(m.BuiltAt()).Seconds(),
-		RebuildMode:      m.RebuildMode(),
-	})
+		StalenessSeconds: time.Since(v.BuiltAt()).Seconds(),
+		RebuildMode:      v.RebuildMode(),
+	}
+	if v.Sharded() {
+		plan := v.Plan()
+		for d := 0; d < v.NumShards(); d++ {
+			m := v.Shard(d)
+			if m == nil {
+				continue // empty district: no model to report
+			}
+			resp.Shards = append(resp.Shards, shardStatus{
+				Index:         d,
+				Version:       m.Version(),
+				Roads:         len(plan.Owned(d)),
+				HaloRoads:     len(plan.Members(d)) - len(plan.Owned(d)),
+				BoundaryEdges: v.BoundaryEdges(d),
+				BuiltAt:       m.BuiltAt().UTC().Format(time.RFC3339Nano),
+				RebuildMode:   m.RebuildMode(),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // seedsResponse lists a selected seed set.
@@ -588,21 +639,21 @@ type seedsResponse struct {
 }
 
 func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
-	// Resolve the model once: validation, selection, benefit scoring and the
+	// Resolve the view once: validation, selection, benefit scoring and the
 	// reported version all refer to the same artifact even if a rebuild
 	// swaps mid-request.
-	m := s.store.Model()
+	v := s.store.View()
 	kStr := r.URL.Query().Get("k")
 	if kStr == "" {
 		writeErr(w, http.StatusBadRequest, "missing query parameter k")
 		return
 	}
 	k, err := strconv.Atoi(kStr)
-	if err != nil || k < 1 || k > m.Net().NumRoads() {
-		writeErr(w, http.StatusBadRequest, "k must be an integer in [1, %d]", m.Net().NumRoads())
+	if err != nil || k < 1 || k > v.Net().NumRoads() {
+		writeErr(w, http.StatusBadRequest, "k must be an integer in [1, %d]", v.Net().NumRoads())
 		return
 	}
-	seeds, err := s.seedsFor(r.Context(), m, k)
+	seeds, err := s.seedsFor(r.Context(), v, k)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -616,7 +667,7 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, seedsResponse{
-		K: k, Seeds: seeds, Benefit: m.SeedBenefit(seeds), ModelVersion: m.Version(),
+		K: k, Seeds: seeds, Benefit: v.SeedBenefit(seeds), ModelVersion: v.Version(),
 	})
 }
 
@@ -639,8 +690,8 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 // any still-live waiter then retries the loop, finding the cache, a newer
 // in-flight call, or becoming the fresh initiator itself, so one impatient
 // client can never poison the result for patient ones.
-func (s *Server) seedsFor(ctx context.Context, m *core.Model, k int) ([]roadnet.RoadID, error) {
-	key := seedKey{k: k, version: m.Version()}
+func (s *Server) seedsFor(ctx context.Context, v *core.View, k int) ([]roadnet.RoadID, error) {
+	key := seedKey{k: k, version: v.Version()}
 	for {
 		s.mu.Lock()
 		if seeds, ok := s.seedCache[key]; ok {
@@ -669,7 +720,7 @@ func (s *Server) seedsFor(ctx context.Context, m *core.Model, k int) ([]roadnet.
 	s.mu.Unlock()
 
 	seedCacheMisses.Inc()
-	c.seeds, c.err = s.store.SelectSeedsOnCtx(ctx, m, k)
+	c.seeds, c.err = s.store.SelectSeedsOnCtx(ctx, v, k)
 	if s.onSeedSelected != nil {
 		s.onSeedSelected()
 	}
@@ -704,7 +755,7 @@ func (s *Server) seedsFor(ctx context.Context, m *core.Model, k int) ([]roadnet.
 // dropStaleSeeds removes cached seed sets whose model version is not
 // current. Runs from the store's swap hook, so the cache never retains
 // selections for models no request can resolve anymore. In-flight
-// selections are left alone: their waiters hold the old *Model and get a
+// selections are left alone: their waiters hold the old *View and get a
 // correctly-labelled result — but the completed selection is not cached,
 // because seedsFor rechecks the version recorded here before inserting.
 func (s *Server) dropStaleSeeds(current uint64) {
@@ -753,14 +804,14 @@ type roadResponse struct {
 }
 
 func (s *Server) handleRoad(w http.ResponseWriter, r *http.Request) {
-	m := s.store.Model()
+	v := s.store.View()
 	idStr := strings.TrimSpace(r.PathValue("id"))
 	id, err := strconv.Atoi(idStr)
-	if err != nil || id < 0 || id >= m.Net().NumRoads() {
+	if err != nil || id < 0 || id >= v.Net().NumRoads() {
 		writeErr(w, http.StatusNotFound, "unknown road %q", idStr)
 		return
 	}
-	road := m.Net().Road(roadnet.RoadID(id))
+	road := v.Net().Road(roadnet.RoadID(id))
 	resp := roadResponse{
 		ID:      road.ID,
 		Class:   road.Class.String(),
@@ -773,9 +824,9 @@ func (s *Server) handleRoad(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "slot must be an integer")
 			return
 		}
-		if mean, ok := m.DB().Mean(road.ID, slot); ok {
+		if mean, ok := v.RoadMean(road.ID, slot); ok {
 			resp.HistoricalMean = &mean
-			p := m.DB().PUp(road.ID, slot)
+			p := v.RoadPUp(road.ID, slot)
 			resp.TrendPriorUp = &p
 		}
 	}
@@ -916,7 +967,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, observationsResponse{
 		Accepted:     len(batch),
 		Buffered:     buffered,
-		ModelVersion: s.store.Model().Version(),
+		ModelVersion: s.store.View().Version(),
 	})
 }
 
@@ -957,6 +1008,6 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, render.SpeedMap(s.store.Model().Net(), res.Rels, width))
+	_, _ = io.WriteString(w, render.SpeedMap(s.store.View().Net(), res.Rels, width))
 	_, _ = io.WriteString(w, render.Legend()+"\n")
 }

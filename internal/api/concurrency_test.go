@@ -81,7 +81,7 @@ func TestSeedSingleflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := st.Model()
+	m := st.View()
 	missesBefore := seedCacheMisses.Value()
 	const k = 5
 	var wg sync.WaitGroup

@@ -181,7 +181,7 @@ func TestRebuildBumpsVersionAcrossAPI(t *testing.T) {
 func TestSeedCacheVersioned(t *testing.T) {
 	_, srv, d, st := newLifecycleServer(t)
 	const k = 4
-	m1 := st.Model()
+	m1 := st.View()
 	if _, err := srv.seedsFor(context.Background(), m1, k); err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestSeedCacheVersioned(t *testing.T) {
 	if _, err := st.Rebuild(); err != nil {
 		t.Fatal(err)
 	}
-	m2 := st.Model()
+	m2 := st.View()
 	if m2.Version() == m1.Version() {
 		t.Fatal("rebuild did not bump the version")
 	}

@@ -136,7 +136,7 @@ func TestSeedCacheBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := st.Model()
+	m := st.View()
 	for k := 1; k <= seedCacheMax+2; k++ {
 		if _, err := srv.seedsFor(context.Background(), m, k); err != nil {
 			t.Fatalf("seedsFor(%d): %v", k, err)

@@ -18,7 +18,7 @@ func TestSeedCacheNoStaleReinsertAfterSwap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1 := st.Model()
+	m1 := st.View()
 	swapped := false
 	srv.onSeedSelected = func() {
 		// The rebuild lands exactly in the window between the selection
@@ -39,7 +39,7 @@ func TestSeedCacheNoStaleReinsertAfterSwap(t *testing.T) {
 	if len(seeds) != 3 {
 		t.Fatalf("got %d seeds, want 3", len(seeds))
 	}
-	current := st.Model().Version()
+	current := st.View().Version()
 	if current == m1.Version() {
 		t.Fatalf("rebuild did not bump the version from %d", m1.Version())
 	}
@@ -85,7 +85,7 @@ func TestSeedCacheSwapRace(t *testing.T) {
 		go func(k int) {
 			defer wg.Done()
 			for i := 0; i < 2; i++ {
-				m := st.Model()
+				m := st.View()
 				if _, err := srv.seedsFor(context.Background(), m, k); err != nil {
 					t.Errorf("seedsFor(k=%d): %v", k, err)
 					return
@@ -95,7 +95,7 @@ func TestSeedCacheSwapRace(t *testing.T) {
 	}
 	wg.Wait()
 
-	current := st.Model().Version()
+	current := st.View().Version()
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	for key := range srv.seedCache {

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"repro/internal/corr"
+	"repro/internal/history"
 	"repro/internal/hlm"
 	"repro/internal/mrf"
 	"repro/internal/obs"
@@ -133,6 +134,33 @@ type Options struct {
 	// Specialize configures seed-conditional training (hlm.SeedModel);
 	// the zero value means hlm.DefaultSpecializeConfig.
 	Specialize hlm.SpecializeConfig
+
+	// Shards partitions the city into this many district models with halo
+	// roads and boundary stitching (see View): each district trains, rebuilds
+	// and swaps independently, and estimation runs per-district BP in
+	// parallel with a bounded message exchange across boundaries. 0 or 1
+	// means the single unsharded model, which is bitwise-identical to the
+	// pre-sharding pipeline.
+	Shards int
+	// StitchRounds bounds the boundary-stitching exchanges of a sharded
+	// estimation round: after each per-district trend inference, halo roads'
+	// priors are refreshed from their owning district's marginals and the
+	// inference re-runs warm-started. 0 means the default of 2; ignored when
+	// Shards ≤ 1.
+	StitchRounds int
+	// HaloHops is the halo ring width of a sharded partition, in road-graph
+	// hops. It must be at least Corr.MaxHops — otherwise districts would miss
+	// correlation edges incident to their owned roads — and every hop beyond
+	// that shrinks the boundary truncation error of per-district trend
+	// inference (loopy BP's influence radius exceeds the edge radius). 0
+	// means the default of 3×Corr.MaxHops; ignored when Shards ≤ 1.
+	HaloHops int
+
+	// benefitMask, when non-nil, multiplies each road's seed-selection
+	// benefit weight. The sharded build zeroes halo roads so every district's
+	// selection objective counts only the roads it owns — the decomposition
+	// SelectShardedCtx relies on. Internal: set only by shardOptions.
+	benefitMask []float64
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -143,6 +171,19 @@ func DefaultOptions() Options {
 		SeedSel: seedsel.DefaultConfig(),
 		BP:      mrf.DefaultBPConfig(),
 	}
+}
+
+// benefitWeightsFor derives the seed-selection weights for a (possibly
+// sharded) build: the standard class-and-volatility weights, multiplied by
+// the options' benefit mask when one is set.
+func benefitWeightsFor(net *roadnet.Network, db *history.DB, opts Options) []float64 {
+	w := seedsel.BenefitWeights(net, db)
+	if opts.benefitMask != nil {
+		for i := range w {
+			w[i] *= opts.benefitMask[i]
+		}
+	}
+	return w
 }
 
 // ErrInvalidInput marks estimation and ingestion failures caused by the

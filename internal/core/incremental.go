@@ -90,7 +90,7 @@ func buildIncremental(ctx context.Context, old *Model, db *history.DB, dirty *hi
 
 	var problem *seedsel.Problem
 	if err := timeStage(ctx, "seedsel_prepare", func() (err error) {
-		problem, err = seedsel.NewProblem(graph, seedsel.BenefitWeights(old.net, db), opts.SeedSel)
+		problem, err = seedsel.NewProblem(graph, benefitWeightsFor(old.net, db, opts), opts.SeedSel)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: preparing seed selection: %w", err)

@@ -139,7 +139,7 @@ func TestStoreIncrementalMatchesFull(t *testing.T) {
 
 	// Graph topology must agree exactly: corr.Rescore promises bitwise
 	// equality with a full corr.Build over the same rolled-forward history.
-	gi, gf := mInc.Graph(), mFull.Graph()
+	gi, gf := mInc.Shard(0).Graph(), mFull.Shard(0).Graph()
 	if gi.NumRoads() != gf.NumRoads() || gi.NumEdges() != gf.NumEdges() {
 		t.Fatalf("graph shape diverges: incremental %d roads / %d edges, full %d roads / %d edges",
 			gi.NumRoads(), gi.NumEdges(), gf.NumRoads(), gf.NumEdges())
@@ -356,7 +356,7 @@ func TestStoreIncrementalZeroDowntimeSwap(t *testing.T) {
 
 	var modeMu sync.Mutex
 	var modes []string
-	st.OnSwap(func(old, new *Model) {
+	st.OnSwap(func(old, new *View) {
 		modeMu.Lock()
 		modes = append(modes, new.RebuildMode())
 		modeMu.Unlock()

@@ -126,7 +126,7 @@ func build(ctx context.Context, net *roadnet.Network, db *history.DB, opts Optio
 	}
 	var problem *seedsel.Problem
 	if err := timeStage(ctx, "seedsel_prepare", func() (err error) {
-		problem, err = seedsel.NewProblem(graph, seedsel.BenefitWeights(net, db), opts.SeedSel)
+		problem, err = seedsel.NewProblem(graph, benefitWeightsFor(net, db, opts), opts.SeedSel)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: preparing seed selection: %w", err)
@@ -415,43 +415,24 @@ func (m *Model) EstimateWithCtx(ctx context.Context, slot int, seedSpeeds map[ro
 // so the per-phase spans nest under it. The seed-model snapshot is loaded
 // exactly once here and threaded through both regression passes, so a
 // concurrent Prepare cannot hand one round two different models.
+//
+// The body is a straight composition of the phase methods below; the sharded
+// pipeline (View.estimateWith) runs the same phases per district model with a
+// boundary-stitching exchange spliced between inferTrends rounds, so any
+// change to a phase's semantics must hold for both callers.
 func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadnet.RoadID]float64, opts EstimateOptions) (*Estimate, error) {
-	n := m.net.NumRoads()
 	seedModel := m.seedModel.Load()
-	seedRels := make(map[roadnet.RoadID]float64, len(seedSpeeds))
-	for road, speed := range seedSpeeds {
-		if int(road) < 0 || int(road) >= n {
-			return nil, fmt.Errorf("core: seed road %d out of range: %w", road, ErrInvalidInput)
-		}
-		// Non-finite speeds must be rejected here: a single +Inf seed would
-		// otherwise poison Rels/Speeds network-wide through the regressions.
-		if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
-			return nil, fmt.Errorf("core: invalid seed speed %v on road %d: %w", speed, road, ErrInvalidInput)
-		}
-		mean, ok := m.db.Mean(road, slot)
-		if !ok || mean <= 0 {
-			continue
-		}
-		seedRels[road] = speed / mean
+	if err := validateSeedSpeeds(m.net.NumRoads(), seedSpeeds); err != nil {
+		return nil, err
 	}
+	seedRels := m.seedRels(slot, seedSpeeds)
 
 	if opts.TrendFree {
-		var rels []float64
-		if err := timePhase(ctx, "speed", func() (err error) {
-			rels, err = m.estimateRels(&hlm.Request{
-				Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, n),
-				TrendFree: true, Flat: opts.FlatHLM,
-			}, seedModel, opts.NoSeedModel)
-			return err
-		}); err != nil {
-			return nil, fmt.Errorf("core: trend-free inference: %w", err)
+		rels, err := m.trendFreeRels(ctx, slot, seedRels, seedModel, opts)
+		if err != nil {
+			return nil, err
 		}
-		pUp := make([]float64, n)
-		trendUp := make([]bool, n)
-		for r := 0; r < n; r++ {
-			pUp[r] = 0.5
-			trendUp[r] = rels[r] >= 1
-		}
+		pUp, trendUp := trendFreeTrends(rels)
 		return &Estimate{
 			Slot: slot, ModelVersion: m.version,
 			Speeds: hlm.SpeedsOf(m.db, slot, rels), Rels: rels,
@@ -459,28 +440,115 @@ func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadn
 		}, nil
 	}
 
-	// Step 0: a trend-free magnitude pre-pass. Its relative-speed estimates
-	// carry trend information no binary propagation can recover (a road
-	// estimated at 0.8× its mean is almost surely trending down), so they
-	// become the node priors of the graphical model.
-	preTrend := make([]bool, n) // ignored in trend-free mode
+	preRels, err := m.prePass(ctx, slot, seedRels, seedModel, opts.NoSeedModel)
+	if err != nil {
+		return nil, err
+	}
+	priors := m.trendPriors(slot, seedRels)
+	trends, err := m.inferTrends(ctx, priors, opts.Engine, m.warm)
+	if err != nil {
+		return nil, err
+	}
+	pUp, trendUp := m.fuseTrends(trends.PUp, preRels, seedRels)
+	rels, err := m.speedRels(ctx, slot, seedRels, trendUp, pUp, seedModel, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		Slot:         slot,
+		ModelVersion: m.version,
+		Speeds:       hlm.SpeedsOf(m.db, slot, rels),
+		Rels:         rels,
+		TrendUp:      trendUp,
+		PUp:          pUp,
+	}, nil
+}
+
+// validateSeedSpeeds rejects out-of-range roads and unusable speeds up front.
+// Non-finite speeds must be rejected here: a single +Inf seed would otherwise
+// poison Rels/Speeds network-wide through the regressions.
+func validateSeedSpeeds(n int, seedSpeeds map[roadnet.RoadID]float64) error {
+	for road, speed := range seedSpeeds {
+		if int(road) < 0 || int(road) >= n {
+			return fmt.Errorf("core: seed road %d out of range: %w", road, ErrInvalidInput)
+		}
+		if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+			return fmt.Errorf("core: invalid seed speed %v on road %d: %w", speed, road, ErrInvalidInput)
+		}
+	}
+	return nil
+}
+
+// seedRels converts validated absolute seed speeds into relative speeds
+// against each road's historical mean; seeds without a usable mean are
+// dropped — their relative speed is undefined.
+func (m *Model) seedRels(slot int, seedSpeeds map[roadnet.RoadID]float64) map[roadnet.RoadID]float64 {
+	seedRels := make(map[roadnet.RoadID]float64, len(seedSpeeds))
+	for road, speed := range seedSpeeds {
+		mean, ok := m.db.Mean(road, slot)
+		if !ok || mean <= 0 {
+			continue
+		}
+		seedRels[road] = speed / mean
+	}
+	return seedRels
+}
+
+// trendFreeRels runs the single trend-agnostic regression of the ablation-A1
+// path (no graphical model at all).
+func (m *Model) trendFreeRels(ctx context.Context, slot int, seedRels map[roadnet.RoadID]float64, seedModel *hlm.SeedModel, opts EstimateOptions) ([]float64, error) {
+	var rels []float64
+	if err := timePhase(ctx, "speed", func() (err error) {
+		rels, err = m.estimateRels(&hlm.Request{
+			Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, m.net.NumRoads()),
+			TrendFree: true, Flat: opts.FlatHLM,
+		}, seedModel, opts.NoSeedModel)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: trend-free inference: %w", err)
+	}
+	return rels, nil
+}
+
+// trendFreeTrends derives the neutral trend outputs of a trend-free round
+// from its relative speeds.
+func trendFreeTrends(rels []float64) (pUp []float64, trendUp []bool) {
+	pUp = make([]float64, len(rels))
+	trendUp = make([]bool, len(rels))
+	for r := range rels {
+		pUp[r] = 0.5
+		trendUp[r] = rels[r] >= 1
+	}
+	return pUp, trendUp
+}
+
+// prePass is step 0: a trend-free magnitude pre-pass. Its relative-speed
+// estimates carry trend information no binary propagation can recover (a
+// road estimated at 0.8× its mean is almost surely trending down), so they
+// become fusion evidence after the graphical model runs.
+func (m *Model) prePass(ctx context.Context, slot int, seedRels map[roadnet.RoadID]float64, seedModel *hlm.SeedModel, noSeedModel bool) ([]float64, error) {
+	preTrend := make([]bool, m.net.NumRoads()) // ignored in trend-free mode
 	var preRels []float64
 	if err := timePhase(ctx, "pre_pass", func() (err error) {
 		preRels, err = m.estimateRels(&hlm.Request{
 			Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
-		}, seedModel, opts.NoSeedModel)
+		}, seedModel, noSeedModel)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: magnitude pre-pass: %w", err)
 	}
+	return preRels, nil
+}
 
-	// Step 1: trend inference over the MRF. Node priors carry only *local*
-	// evidence — the historical trend prior, and for seed roads the soft
-	// probability that the trend is up given the noisy crowd observation
-	// (never a hard clamp: a report at 1.01× the mean must not drag its
-	// whole neighbourhood to "up"). The spatially-correlated pre-pass
-	// evidence is fused after inference; feeding it into the node priors
-	// would make BP double-count it around every loop.
+// trendPriors builds the MRF node priors. They carry only *local* evidence —
+// the historical trend prior, and for seed roads the soft probability that
+// the trend is up given the noisy crowd observation (never a hard clamp: a
+// report at 1.01× the mean must not drag its whole neighbourhood to "up").
+// The spatially-correlated pre-pass evidence is fused after inference;
+// feeding it into the node priors would make BP double-count it around every
+// loop.
+func (m *Model) trendPriors(slot int, seedRels map[roadnet.RoadID]float64) []float64 {
+	n := m.net.NumRoads()
 	priors := make([]float64, n)
 	for r := 0; r < n; r++ {
 		priors[r] = m.db.PUp(roadnet.RoadID(r), slot)
@@ -488,6 +556,16 @@ func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadn
 	for road, rel := range seedRels {
 		priors[road] = trendEvidence(rel, m.seedTrendNoise)
 	}
+	return priors
+}
+
+// inferTrends is step 1: trend inference over the MRF with the given node
+// priors and warm-start beliefs. The converged beliefs are snapshotted for
+// the successor model's warm start; rounds never read lastBeliefs, so the
+// store cannot perturb them. The sharded pipeline calls this repeatedly with
+// halo priors refreshed between stitch rounds, warm-starting each round from
+// the previous one's beliefs.
+func (m *Model) inferTrends(ctx context.Context, priors []float64, engineOverride mrf.Engine, warm *mrf.Beliefs) (*mrf.Result, error) {
 	var trends *mrf.Result
 	if err := timePhase(ctx, "trend", func() error {
 		model, err := mrf.NewModelWithTopology(m.trendTopo, priors)
@@ -497,27 +575,31 @@ func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadn
 		if err := model.SetEdgeTemper(m.trendTemper); err != nil {
 			return fmt.Errorf("tempering trend model: %w", err)
 		}
-		engine := opts.Engine
+		engine := engineOverride
 		if engine == nil {
 			engine = m.engine
 		}
-		trends, err = engine.Infer(ctx, model, nil, m.warm)
+		trends, err = engine.Infer(ctx, model, nil, warm)
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("core: trend inference: %w", err)
 	}
-	// Snapshot the converged beliefs for the successor model's warm start.
-	// Rounds never read lastBeliefs, so this store cannot perturb them.
 	if trends.Beliefs != nil {
 		m.lastBeliefs.Store(trends.Beliefs)
 	}
-	// Fuse the graphical posterior with the magnitude evidence in log-odds
-	// space: the two views — binary propagation and calibrated magnitude
-	// interpolation — fail in different places.
-	pUp := make([]float64, n)
-	trendUp := make([]bool, n)
+	return trends, nil
+}
+
+// fuseTrends fuses the graphical posterior with the magnitude evidence in
+// log-odds space: the two views — binary propagation and calibrated
+// magnitude interpolation — fail in different places. Seed roads keep their
+// own observation's evidence.
+func (m *Model) fuseTrends(trendPUp, preRels []float64, seedRels map[roadnet.RoadID]float64) (pUp []float64, trendUp []bool) {
+	n := len(trendPUp)
+	pUp = make([]float64, n)
+	trendUp = make([]bool, n)
 	for r := 0; r < n; r++ {
-		pUp[r] = combineOdds(trends.PUp[r], trendEvidence(preRels[r], m.preTrendNoise))
+		pUp[r] = combineOdds(trendPUp[r], trendEvidence(preRels[r], m.preTrendNoise))
 		trendUp[r] = pUp[r] >= 0.5
 	}
 	for road, rel := range seedRels {
@@ -525,8 +607,11 @@ func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadn
 		pUp[road] = p
 		trendUp[road] = p >= 0.5
 	}
+	return pUp, trendUp
+}
 
-	// Step 2: trend-conditioned hierarchical regression.
+// speedRels is step 2: the trend-conditioned hierarchical regression.
+func (m *Model) speedRels(ctx context.Context, slot int, seedRels map[roadnet.RoadID]float64, trendUp []bool, pUp []float64, seedModel *hlm.SeedModel, opts EstimateOptions) ([]float64, error) {
 	var rels []float64
 	if err := timePhase(ctx, "speed", func() (err error) {
 		rels, err = m.estimateRels(&hlm.Request{
@@ -540,14 +625,7 @@ func (m *Model) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadn
 	}); err != nil {
 		return nil, fmt.Errorf("core: speed inference: %w", err)
 	}
-	return &Estimate{
-		Slot:         slot,
-		ModelVersion: m.version,
-		Speeds:       hlm.SpeedsOf(m.db, slot, rels),
-		Rels:         rels,
-		TrendUp:      trendUp,
-		PUp:          pUp,
-	}, nil
+	return rels, nil
 }
 
 // estimateRels routes an HLM request through the given seed-conditional

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,10 +17,11 @@ import (
 )
 
 // Model-lifecycle observability: which version is serving, how often and how
-// long rebuilds run, and how much ingested data is waiting to be folded in.
+// long rebuilds run, how much ingested data is waiting to be folded in, and —
+// on sharded stores — each district's version and footprint.
 var (
 	modelVersionGauge = obs.Default().Gauge("trendspeed_model_version",
-		"Version of the model currently published by the store.")
+		"Version of the view currently published by the store (bumped on every district swap).")
 	modelRebuilds = func(outcome, mode string) *obs.Counter {
 		return obs.Default().Counter("trendspeed_model_rebuilds_total",
 			"Model rebuilds by outcome (success publishes a new version; error keeps the old model and the buffered observations) and mode (full retrain vs incremental delta rebuild).",
@@ -32,6 +34,27 @@ var (
 	}
 	ingestBuffered = obs.Default().Gauge("trendspeed_ingest_buffered_observations",
 		"Observations ingested but not yet folded into a published model.")
+
+	shardVersionGauge = func(d int) *obs.Gauge {
+		return obs.Default().Gauge("trendspeed_shard_version",
+			"Version of each district model in the published view; districts rebuild and bump independently.",
+			"shard", strconv.Itoa(d))
+	}
+	shardRoadsGauge = func(d int) *obs.Gauge {
+		return obs.Default().Gauge("trendspeed_shard_roads",
+			"Roads owned by each district.",
+			"shard", strconv.Itoa(d))
+	}
+	shardHaloGauge = func(d int) *obs.Gauge {
+		return obs.Default().Gauge("trendspeed_shard_halo_roads",
+			"Halo roads each district model carries beyond the ones it owns (its view of the correlation neighbourhood across the boundary).",
+			"shard", strconv.Itoa(d))
+	}
+	shardBoundaryGauge = func(d int) *obs.Gauge {
+		return obs.Default().Gauge("trendspeed_shard_boundary_edges",
+			"Owned↔halo correlation edges inside each district graph — the edges boundary stitching carries information across.",
+			"shard", strconv.Itoa(d))
+	}
 )
 
 // Observation is one crowd-sourced speed report to fold into the historical
@@ -53,38 +76,45 @@ type StoreConfig struct {
 	// buffered; 0 disables the count trigger.
 	RebuildMinObs int
 	// IncrementalMaxDirtyFrac enables incremental (delta) rebuilds: when the
-	// fraction of roads whose history changed since the published model is
-	// at or below this value, the rebuild re-scores and retrains only around
-	// the delta and warm-starts trend inference from the predecessor's
-	// converged beliefs (see buildIncremental). Larger deltas fall back to a
-	// full retrain. 0 (or negative) disables incremental rebuilds entirely.
+	// fraction of a district's roads whose history changed since its
+	// published model is at or below this value, that district's rebuild
+	// re-scores and retrains only around the delta and warm-starts trend
+	// inference from the predecessor's converged beliefs (see
+	// buildIncremental). Larger deltas fall back to a full retrain. 0 (or
+	// negative) disables incremental rebuilds entirely.
 	IncrementalMaxDirtyFrac float64
 }
 
-// Store is the serving handle over a sequence of immutable model versions.
-// It publishes the current Model through an atomic pointer, so Estimate,
-// SelectSeeds and Model never block on a rebuild in progress: every call
+// Store is the serving handle over a sequence of immutable view versions.
+// It publishes the current View through an atomic pointer, so Estimate,
+// SelectSeeds and View never block on a rebuild in progress: every call
 // resolves exactly one version at entry and runs entirely on it, and a
-// rebuild trains the successor off to the side (on the same internal/par
-// worker pool the round hot path uses) before swapping it in
+// rebuild trains successor district models off to the side (on the same
+// internal/par worker pool the round hot path uses) before swapping them in
 // last-write-wins.
 //
+// On a sharded store each rebuild is staggered per district: observations are
+// routed to the district owning their road, only districts with pending data
+// retrain, and every finished district is published immediately as its own
+// view version — the city is never torn down wholesale, and an ingest delta
+// confined to one district rebuilds exactly one shard.
+//
 // Ingest buffers observations; Rebuild (or the background loop started by
-// Start) rolls them into the history snapshot via history.NewBuilderFrom,
-// retrains, re-specializes the last prepared seed set so rounds do not
-// regress to the generic propagation model after a swap, and publishes the
-// new version. All methods are safe for concurrent use.
+// Start) rolls them into the per-district history snapshots via
+// history.NewBuilderFrom, retrains, re-specializes the last prepared seed set
+// so rounds do not regress to the generic propagation model after a swap, and
+// publishes the new versions. All methods are safe for concurrent use.
 type Store struct {
 	opts    Options
-	cur     atomic.Pointer[Model]
-	version atomic.Uint64 // last version stamp handed out
+	cur     atomic.Pointer[View]
+	version atomic.Uint64 // last view version stamp handed out
 
 	// mu guards the ingest buffer, the last prepared seed set, the swap
 	// hooks and the loop bookkeeping; it is never held across a rebuild.
 	mu        sync.Mutex
 	buf       []Observation
 	lastSeeds []roadnet.RoadID
-	onSwap    []func(old, new *Model)
+	onSwap    []func(old, new *View)
 	cfg       StoreConfig
 	started   bool
 	closed    bool
@@ -109,9 +139,10 @@ type Store struct {
 	done chan struct{}
 }
 
-// NewStore trains the version-1 model and returns a store publishing it.
+// NewStore trains the version-1 view (opts.Shards district models; one
+// unsharded model by default) and returns a store publishing it.
 func NewStore(net *roadnet.Network, db *history.DB, opts Options) (*Store, error) {
-	m, err := build(context.Background(), net, db, opts, 1)
+	v, err := buildView(context.Background(), net, db, opts, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -124,18 +155,45 @@ func NewStore(net *roadnet.Network, db *history.DB, opts Options) (*Store, error
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	s.version.Store(m.Version())
-	s.cur.Store(m)
-	modelVersionGauge.Set(float64(m.Version()))
+	s.version.Store(v.Version())
+	s.cur.Store(v)
+	modelVersionGauge.Set(float64(v.Version()))
+	for d := 0; d < v.NumShards(); d++ {
+		publishShardMetrics(v, d)
+	}
 	return s, nil
 }
 
-// Model returns the currently published model. Callers that make several
-// dependent calls (e.g. select seeds, then report the version they were
-// selected against) should resolve the model once and use it throughout.
-func (s *Store) Model() *Model { return s.cur.Load() }
+// publishShardMetrics refreshes district d's gauges against view v.
+func publishShardMetrics(v *View, d int) {
+	m := v.Shard(d)
+	if m == nil {
+		return
+	}
+	plan := v.Plan()
+	shardVersionGauge(d).Set(float64(m.Version()))
+	shardRoadsGauge(d).Set(float64(len(plan.Owned(d))))
+	shardHaloGauge(d).Set(float64(len(plan.Members(d)) - len(plan.Owned(d))))
+	shardBoundaryGauge(d).Set(float64(v.BoundaryEdges(d)))
+}
 
-// Estimate runs one estimation round on the currently published model.
+// View returns the currently published view. Callers that make several
+// dependent calls (e.g. select seeds, then report the version they were
+// selected against) should resolve the view once and use it throughout.
+func (s *Store) View() *View { return s.cur.Load() }
+
+// Model returns the single model of an unsharded store (Options.Shards ≤ 1),
+// or nil when the store is sharded — sharded callers work with View, which
+// has no single model to hand out.
+func (s *Store) Model() *Model {
+	v := s.cur.Load()
+	if v.Sharded() {
+		return nil
+	}
+	return v.Shard(0)
+}
+
+// Estimate runs one estimation round on the currently published view.
 func (s *Store) Estimate(slot int, seedSpeeds map[roadnet.RoadID]float64) (*Estimate, error) {
 	return s.cur.Load().Estimate(slot, seedSpeeds)
 }
@@ -157,7 +215,7 @@ func (s *Store) EstimateWithCtx(ctx context.Context, slot int, seedSpeeds map[ro
 }
 
 // EstimateFromCrowd runs one estimation round from raw crowd reports on the
-// currently published model.
+// currently published view.
 func (s *Store) EstimateFromCrowd(slot int, reports []crowd.Report) (*Estimate, error) {
 	return s.cur.Load().EstimateFromCrowd(slot, reports)
 }
@@ -167,23 +225,23 @@ func (s *Store) EstimateFromCrowdCtx(ctx context.Context, slot int, reports []cr
 	return s.cur.Load().EstimateFromCrowdCtx(ctx, slot, reports)
 }
 
-// SelectSeeds selects k seeds on the currently published model and records
+// SelectSeeds selects k seeds on the currently published view and records
 // the set so rebuilds re-specialize it on successor models.
 func (s *Store) SelectSeeds(k int) ([]roadnet.RoadID, error) {
 	return s.SelectSeedsOn(s.cur.Load(), k)
 }
 
-// SelectSeedsOn is SelectSeeds against an explicitly resolved model; API
+// SelectSeedsOn is SelectSeeds against an explicitly resolved view; API
 // layers use it so the seed set and the version they cache it under come
-// from the same model even if a swap lands mid-request.
-func (s *Store) SelectSeedsOn(m *Model, k int) ([]roadnet.RoadID, error) {
-	return s.SelectSeedsOnCtx(context.Background(), m, k)
+// from the same view even if a swap lands mid-request.
+func (s *Store) SelectSeedsOn(v *View, k int) ([]roadnet.RoadID, error) {
+	return s.SelectSeedsOnCtx(context.Background(), v, k)
 }
 
 // SelectSeedsOnCtx is SelectSeedsOn bounded by ctx: a cancelled selection
 // records nothing, so rebuilds keep re-specializing the last complete set.
-func (s *Store) SelectSeedsOnCtx(ctx context.Context, m *Model, k int) ([]roadnet.RoadID, error) {
-	seeds, err := m.SelectSeedsCtx(ctx, k)
+func (s *Store) SelectSeedsOnCtx(ctx context.Context, v *View, k int) ([]roadnet.RoadID, error) {
+	seeds, err := v.SelectSeedsCtx(ctx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +250,7 @@ func (s *Store) SelectSeedsOnCtx(ctx context.Context, m *Model, k int) ([]roadne
 }
 
 // Prepare trains the seed-conditional model for an explicit seed set on the
-// currently published model and records the set for rebuilds.
+// currently published view and records the set for rebuilds.
 func (s *Store) Prepare(seeds []roadnet.RoadID) error {
 	if err := s.cur.Load().Prepare(seeds); err != nil {
 		return err
@@ -213,7 +271,7 @@ func (s *Store) rememberSeeds(seeds []roadnet.RoadID) {
 // ErrInvalidInput, so HTTP layers answer 400). It returns the number of
 // observations buffered after the append and never blocks on a rebuild.
 func (s *Store) Ingest(observations ...Observation) (int, error) {
-	n := s.cur.Load().net.NumRoads()
+	n := s.cur.Load().Net().NumRoads()
 	for _, o := range observations {
 		if int(o.Road) < 0 || int(o.Road) >= n {
 			return 0, fmt.Errorf("core: observation road %d out of range [0,%d): %w", o.Road, n, ErrInvalidInput)
@@ -252,33 +310,37 @@ func (s *Store) BufferedObservations() int {
 	return len(s.buf)
 }
 
-// OnSwap registers a hook called after each successful rebuild with the
-// model that was replaced and the one now published (caches keyed by model
-// version use it to drop stale entries). Hooks run on the rebuilding
-// goroutine and must not block.
-func (s *Store) OnSwap(fn func(old, new *Model)) {
+// OnSwap registers a hook called after each successful district swap with
+// the view that was replaced and the one now published (caches keyed by view
+// version use it to drop stale entries). A staggered sharded rebuild runs the
+// hooks once per district published. Hooks run on the rebuilding goroutine
+// and must not block.
+func (s *Store) OnSwap(fn func(old, new *View)) {
 	s.mu.Lock()
 	s.onSwap = append(s.onSwap, fn)
 	s.mu.Unlock()
 }
 
-// Rebuild retrains immediately: it drains the buffered observations into a
-// roll-forward of the current history snapshot, builds the successor model
-// off to the side, re-specializes the last prepared seed set, and swaps the
-// new version in last-write-wins. Estimation rounds in flight keep the
-// model they resolved at entry; new rounds see the new version as soon as
-// the swap lands. On error the old model stays published and the buffered
-// observations are kept for the next attempt.
-func (s *Store) Rebuild() (*Model, error) {
+// Rebuild retrains immediately: it drains the buffered observations into
+// roll-forwards of the affected districts' history snapshots, rebuilds each
+// such district model off to the side, re-specializes the last prepared seed
+// set, and swaps each finished district in last-write-wins as its own view
+// version. Estimation rounds in flight keep the view they resolved at entry;
+// new rounds see each new version as soon as its swap lands. With an empty
+// buffer every district rebuilds (a forced full refresh). On error the
+// failed districts' models stay published and their observations are kept
+// for the next attempt; districts that finished before the error remain
+// swapped in. Returns the view published last.
+func (s *Store) Rebuild() (*View, error) {
 	return s.RebuildCtx(context.Background())
 }
 
 // RebuildCtx is Rebuild bounded by ctx in addition to the store lifetime:
 // whichever of the two is cancelled first aborts the retrain at its next
-// build-stage boundary. An aborted rebuild publishes nothing — the old model
-// stays live and the buffered observations are kept for the next attempt —
-// and is counted under rebuilds_total{outcome="canceled"}.
-func (s *Store) RebuildCtx(ctx context.Context) (*Model, error) {
+// build-stage boundary. An aborted district rebuild publishes nothing — its
+// old model stays live and its buffered observations are kept for the next
+// attempt — and the rebuild is counted under rebuilds_total{outcome="canceled"}.
+func (s *Store) RebuildCtx(ctx context.Context) (*View, error) {
 	ctx, cancelJoined := context.WithCancel(ctx)
 	defer cancelJoined()
 	// Join the store lifetime: Close cancels it, which cancels ctx here.
@@ -288,7 +350,7 @@ func (s *Store) RebuildCtx(ctx context.Context) (*Model, error) {
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
 	start := time.Now()
-	m, mode, err := s.rebuild(ctx)
+	v, mode, err := s.rebuild(ctx)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			modelRebuilds("canceled", mode).Inc()
@@ -299,18 +361,20 @@ func (s *Store) RebuildCtx(ctx context.Context) (*Model, error) {
 	}
 	rebuildSeconds(mode).Observe(time.Since(start).Seconds())
 	modelRebuilds("success", mode).Inc()
-	return m, nil
+	return v, nil
 }
 
-// rebuild runs one retrain under rebuildMu and returns the published model
-// and the mode it was built in ("full" or "incremental"; on error, the mode
-// that was being attempted, for metric labels).
-func (s *Store) rebuild(ctx context.Context) (*Model, string, error) {
+// rebuild runs one staggered retrain under rebuildMu and returns the last
+// published view and the aggregate mode it was built in ("incremental" only
+// when every rebuilt district took the delta path; on error, the mode that
+// was being attempted when the first district failed, for metric labels).
+func (s *Store) rebuild(ctx context.Context) (*View, string, error) {
 	s.mu.Lock()
 	pending := append([]Observation(nil), s.buf...)
 	seeds := s.lastSeeds
 	maxDirtyFrac := s.cfg.IncrementalMaxDirtyFrac
 	fail := s.failRebuild
+	hooks := append([]func(old, new *View){}, s.onSwap...)
 	s.mu.Unlock()
 	if fail != nil {
 		if err := fail(); err != nil {
@@ -318,10 +382,123 @@ func (s *Store) rebuild(ctx context.Context) (*Model, string, error) {
 		}
 	}
 
-	old := s.cur.Load()
+	// Route every pending observation to the district owning its road; the
+	// observation becomes local evidence there at local road IDs. (Districts
+	// holding the road in their halo keep their stale copy until their own
+	// next rebuild — the documented staleness bound of sharding.) The plan is
+	// shared by every view this store ever publishes, so routing against the
+	// current one is stable across the staggered swaps below.
+	first := s.cur.Load()
+	plan := first.Plan()
+	k := plan.NumDistricts()
+	local := make([][]Observation, k)
+	districtOf := make([]int, len(pending))
+	for i, o := range pending {
+		d := plan.Owner(o.Road)
+		l, _ := plan.Local(d, o.Road)
+		local[d] = append(local[d], Observation{Road: l, Slot: o.Slot, Speed: o.Speed})
+		districtOf[i] = d
+	}
+
+	allIncremental := true
+	rebuiltAny := false
+	var firstErr error
+	firstErrMode := "full"
+	failed := make([]bool, k)
+	published := first
+	for d := 0; d < k; d++ {
+		if first.Shard(d) == nil {
+			continue // empty district: nothing to rebuild
+		}
+		if len(pending) > 0 && len(local[d]) == 0 {
+			continue // delta untouched this district; its model stays as-is
+		}
+		if firstErr != nil {
+			// A cancellation aborts the whole stagger; a build error skips
+			// only its district so the rest of the city still refreshes.
+			if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+				failed[d] = true
+				continue
+			}
+		}
+		// Every district must chain off the view the previous district's
+		// swap just published, not a pre-loop snapshot that would drop
+		// those swaps on the floor.
+		//lint:ignore atomicload staggered publish re-reads the freshest view per district
+		cur := s.cur.Load()
+		m, mode, err := s.rebuildShard(ctx, cur, d, local[d], seeds, maxDirtyFrac)
+		if err == nil {
+			// A cancellation that raced the last stage must not publish:
+			// Close has already begun draining, and the caller asked for the
+			// work to stop.
+			if cerr := ctx.Err(); cerr != nil {
+				err = fmt.Errorf("core: rebuild aborted before publish: %w", cerr)
+			}
+		}
+		if err != nil {
+			failed[d] = true
+			if firstErr == nil {
+				firstErr = err
+				firstErrMode = mode
+			}
+			continue
+		}
+		if mode != "incremental" {
+			allIncremental = false
+		}
+		rebuiltAny = true
+
+		// Staggered publish: mint the successor view with just this district
+		// swapped, bump the view version, refresh the gauges and run the
+		// hooks — all before the next district starts training.
+		next := s.version.Load() + 1
+		shards := append([]*Model(nil), cur.shards...)
+		shards[d] = m
+		nv := newView(next, cur.net, plan, shards, cur.stitchRounds, cur.frontierHops, d)
+		s.version.Store(next)
+		s.cur.Store(nv)
+		modelVersionGauge.Set(float64(next))
+		publishShardMetrics(nv, d)
+		for _, h := range hooks {
+			h(cur, nv)
+		}
+		published = nv
+	}
+
+	// Drop the consumed prefix of the buffer (Ingest only appends, so the
+	// first len(pending) entries are exactly what the stagger handled),
+	// keeping observations whose district failed for the next attempt.
+	s.mu.Lock()
+	var kept []Observation
+	for i, o := range pending {
+		if failed[districtOf[i]] {
+			kept = append(kept, o)
+		}
+	}
+	s.buf = append(kept, s.buf[len(pending):]...)
+	buffered := len(s.buf)
+	s.mu.Unlock()
+	ingestBuffered.Set(float64(buffered))
+
+	if firstErr != nil {
+		return nil, firstErrMode, firstErr
+	}
+	mode := "full"
+	if rebuiltAny && allIncremental {
+		mode = "incremental"
+	}
+	return published, mode, nil
+}
+
+// rebuildShard retrains district d of view cur with its routed observations
+// folded in (local road IDs), returning the successor model and the mode it
+// was built in. The district version advances independently of the view
+// version; on an unsharded store the two stay in lockstep.
+func (s *Store) rebuildShard(ctx context.Context, cur *View, d int, pending []Observation, seeds []roadnet.RoadID, maxDirtyFrac float64) (*Model, string, error) {
+	old := cur.Shard(d)
 	builder, err := history.NewBuilderFrom(old.DB())
 	if err != nil {
-		return nil, "full", fmt.Errorf("core: rolling history forward: %w", err)
+		return nil, "full", fmt.Errorf("core: rolling district %d history forward: %w", d, err)
 	}
 	for _, o := range pending {
 		// Validated at Ingest; a failure here means the builder and store
@@ -331,69 +508,42 @@ func (s *Store) rebuild(ctx context.Context) (*Model, string, error) {
 		}
 	}
 	db := builder.Finalize()
+	sopts := shardOptions(s.opts, cur.Plan(), d)
+	version := old.Version() + 1
 
-	// The successor's version is allocated only at publish: a failed build
-	// consumes nothing, so published versions never skip. Safe because
-	// rebuilds are serialized by rebuildMu and s.version is written nowhere
-	// else after NewStore.
-	next := s.version.Load() + 1
-
-	// Delta path: when the dirty fraction is small enough, rebuild around
-	// the delta; only a re-scored graph no topology can be built over at
-	// all falls back to a full build.
+	// Delta path: when the district's dirty fraction is small enough,
+	// rebuild around the delta; only a re-scored graph no topology can be
+	// built over at all falls back to a full build.
 	mode := "full"
 	var m *Model
 	dirty := builder.Dirty()
 	if dirty != nil && maxDirtyFrac > 0 &&
 		float64(len(dirty.Roads)) <= maxDirtyFrac*float64(db.NumRoads()) {
 		mode = "incremental"
-		m, err = buildIncremental(ctx, old, db, dirty, s.opts, next)
+		m, err = buildIncremental(ctx, old, db, dirty, sopts, version)
 		if err != nil && errors.Is(err, errTopologyChanged) {
 			mode = "full"
-			m, err = build(ctx, old.Net(), db, s.opts, next)
+			m, err = build(ctx, old.Net(), db, sopts, version)
 		}
 	} else {
-		m, err = build(ctx, old.Net(), db, s.opts, next)
+		m, err = build(ctx, old.Net(), db, sopts, version)
 	}
 	if err != nil {
-		return nil, mode, fmt.Errorf("core: rebuilding model: %w", err)
+		return nil, mode, fmt.Errorf("core: rebuilding district %d: %w", d, err)
 	}
-	if len(seeds) > 0 {
-		if err := m.PrepareCtx(ctx, seeds); err != nil {
-			return nil, mode, fmt.Errorf("core: re-specializing seed set: %w", err)
+	ls := seeds
+	if cur.Sharded() {
+		ls = nil
+		for _, g := range seeds {
+			if l, ok := cur.Plan().Local(d, g); ok {
+				ls = append(ls, l)
+			}
 		}
 	}
-	// A cancellation that raced the last stage must not publish: Close has
-	// already begun draining, and the caller asked for the work to stop.
-	if err := ctx.Err(); err != nil {
-		return nil, mode, fmt.Errorf("core: rebuild aborted before publish: %w", err)
-	}
-
-	// Publish, drop the consumed prefix of the buffer (Ingest only appends,
-	// so the first len(pending) entries are exactly what we folded in) and
-	// snapshot the hooks to run outside the lock. When the consumed prefix
-	// dominates the backing array, the remainder is copied to a fresh slice
-	// so the old array becomes collectable instead of being pinned by the
-	// re-slice.
-	s.mu.Lock()
-	s.version.Store(next)
-	rest := len(s.buf) - len(pending)
-	switch {
-	case rest == 0:
-		s.buf = nil
-	case len(pending) >= rest:
-		s.buf = append(make([]Observation, 0, rest), s.buf[len(pending):]...)
-	default:
-		s.buf = s.buf[len(pending):]
-	}
-	buffered := len(s.buf)
-	hooks := append([]func(old, new *Model){}, s.onSwap...)
-	s.mu.Unlock()
-	s.cur.Store(m)
-	modelVersionGauge.Set(float64(m.Version()))
-	ingestBuffered.Set(float64(buffered))
-	for _, h := range hooks {
-		h(old, m)
+	if len(ls) > 0 {
+		if err := m.PrepareCtx(ctx, ls); err != nil {
+			return nil, mode, fmt.Errorf("core: re-specializing seed set: %w", err)
+		}
 	}
 	return m, mode, nil
 }
@@ -439,7 +589,7 @@ func (s *Store) loop(cfg StoreConfig) {
 		if s.BufferedObservations() == 0 {
 			continue
 		}
-		// Errors keep the old model serving and the observations buffered;
+		// Errors keep the old models serving and their observations buffered;
 		// the rebuilds_total{outcome="error"} counter is the alert signal.
 		if _, err := s.Rebuild(); err != nil {
 			// Back off before the retry below re-arms: a persistently
@@ -476,7 +626,7 @@ func (s *Store) loop(cfg StoreConfig) {
 // in-flight rebuild (whether loop-triggered or a concurrent Rebuild call) at
 // its next build-stage boundary — and then drains it, so shutdown neither
 // kills a retrain halfway through a swap nor waits out a full retrain it no
-// longer wants. Ingest fails after Close; the published model remains
+// longer wants. Ingest fails after Close; the published view remains
 // usable. Close is idempotent.
 func (s *Store) Close() {
 	s.mu.Lock()

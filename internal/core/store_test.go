@@ -96,8 +96,8 @@ func TestStoreRebuildSwapsVersionAndFoldsObservations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m != st.Model() {
-		t.Fatal("rebuild did not publish the model it returned")
+	if m != st.View() {
+		t.Fatal("rebuild did not publish the view it returned")
 	}
 	if m.Version() != before.Version()+1 {
 		t.Errorf("version %d after rebuild of %d", m.Version(), before.Version())
@@ -127,7 +127,7 @@ func TestStoreRebuildSwapsVersionAndFoldsObservations(t *testing.T) {
 func TestStoreOnSwapHook(t *testing.T) {
 	d, st := buildStore(t)
 	var gotOld, gotNew uint64
-	st.OnSwap(func(old, new *Model) {
+	st.OnSwap(func(old, new *View) {
 		gotOld, gotNew = old.Version(), new.Version()
 	})
 	if _, err := st.Ingest(Observation{Road: 0, Slot: d.Slot(), Speed: 9}); err != nil {

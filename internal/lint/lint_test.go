@@ -18,6 +18,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		dir      string
 	}{
 		{ModelMut, "modelmut"},
+		{ModelMut, "modelmut_shard"},
 		{AtomicLoad, "atomicload"},
 		{SpanEnd, "spanend"},
 		{MetricName, "metricname"},

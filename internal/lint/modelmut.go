@@ -6,45 +6,54 @@ import (
 	"go/types"
 )
 
-// ModelMut enforces the PR 3 snapshot contract: core.Model is an immutable,
-// versioned training artifact, so no code may assign to its fields outside
-// the constructor path (New / build in package core). Everything else must
-// go through the builder or publish state via the model's atomic pointers
+// ModelMut enforces the snapshot contract on the pipeline's shared immutable
+// artifacts: core.Model (PR 3), and since the sharding refactor core.View and
+// shard.Plan. All three are published across concurrent estimation rounds, so
+// no code may assign to their fields outside the constructor path of their
+// own package. Everything else must publish state by minting a successor
 // (method calls, not field writes).
 var ModelMut = &Analyzer{
 	Name: "modelmut",
-	Doc: "disallow writes to core.Model fields outside its constructor/builder; " +
-		"Model is an immutable snapshot shared across concurrent estimation rounds",
+	Doc: "disallow writes to core.Model, core.View and shard.Plan fields outside their constructors; " +
+		"all three are immutable snapshots shared across concurrent estimation rounds",
 	Run: runModelMut,
 }
 
-// modelMutAllowed are the package-core functions that may initialise Model
-// fields: the public constructor and the version-stamping builders (full and
-// incremental) it shares with the Store.
-var modelMutAllowed = map[string]bool{"New": true, "build": true, "buildIncremental": true}
+// protectedType is one immutable snapshot type and the functions of its own
+// package allowed to initialise its fields.
+type protectedType struct {
+	pkg, name    string
+	constructors map[string]bool
+}
+
+// protectedTypes is the snapshot registry: the public constructors and the
+// version-stamping builders each type shares with the Store.
+var protectedTypes = []protectedType{
+	{"core", "Model", map[string]bool{"New": true, "build": true, "buildIncremental": true}},
+	{"core", "View", map[string]bool{"newView": true}},
+	{"shard", "Plan", map[string]bool{"Partition": true}},
+}
 
 func runModelMut(p *Pass) error {
-	inCore := p.Pkg.Name() == "core"
 	for _, f := range p.Files {
 		funcScopes(f, func(name string, body *ast.BlockStmt) {
-			if inCore && modelMutAllowed[name] {
-				return
-			}
 			inspectShallow(body, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.AssignStmt:
 					for _, lhs := range n.Lhs {
-						checkModelWrite(p, lhs)
+						checkProtectedWrite(p, name, lhs)
 					}
 				case *ast.IncDecStmt:
-					checkModelWrite(p, n.X)
+					checkProtectedWrite(p, name, n.X)
 				case *ast.UnaryExpr:
 					// Taking the address of a field is a write permit in
 					// disguise: the pointer escapes the immutability
 					// contract.
 					if n.Op == token.AND {
-						if sel, ok := n.X.(*ast.SelectorExpr); ok && isModelField(p, sel) {
-							p.Reportf(n.Pos(), "taking the address of core.Model field %s leaks a mutable reference to an immutable snapshot", sel.Sel.Name)
+						if sel, ok := n.X.(*ast.SelectorExpr); ok {
+							if pt, ok := protectedField(p, sel); ok && !allowedIn(p, pt, name) {
+								p.Reportf(n.Pos(), "taking the address of %s.%s field %s leaks a mutable reference to an immutable snapshot", pt.pkg, pt.name, sel.Sel.Name)
+							}
 						}
 					}
 				}
@@ -55,21 +64,37 @@ func runModelMut(p *Pass) error {
 	return nil
 }
 
-// checkModelWrite reports lhs if it assigns to a field of core.Model.
-func checkModelWrite(p *Pass, lhs ast.Expr) {
-	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
-	if !ok || !isModelField(p, sel) {
-		return
-	}
-	p.Reportf(lhs.Pos(), "write to core.Model field %s outside its constructor; Model is an immutable snapshot (publish changes by building a successor model)", sel.Sel.Name)
+// allowedIn reports whether function fn of the current package may write
+// pt's fields.
+func allowedIn(p *Pass, pt protectedType, fn string) bool {
+	return p.Pkg.Name() == pt.pkg && pt.constructors[fn]
 }
 
-// isModelField reports whether sel selects a field whose receiver is
-// core.Model (directly or through a pointer).
-func isModelField(p *Pass, sel *ast.SelectorExpr) bool {
+// checkProtectedWrite reports lhs if it assigns to a field of a protected
+// snapshot type outside that type's constructor path.
+func checkProtectedWrite(p *Pass, fn string, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pt, ok := protectedField(p, sel)
+	if !ok || allowedIn(p, pt, fn) {
+		return
+	}
+	p.Reportf(lhs.Pos(), "write to %s.%s field %s outside its constructor; %s is an immutable snapshot (publish changes by building a successor)", pt.pkg, pt.name, sel.Sel.Name, pt.name)
+}
+
+// protectedField reports whether sel selects a field whose receiver is one
+// of the protected snapshot types (directly or through a pointer).
+func protectedField(p *Pass, sel *ast.SelectorExpr) (protectedType, bool) {
 	s, ok := p.Info.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
-		return false
+		return protectedType{}, false
 	}
-	return isNamed(s.Recv(), "core", "Model")
+	for _, pt := range protectedTypes {
+		if isNamed(s.Recv(), pt.pkg, pt.name) {
+			return pt, true
+		}
+	}
+	return protectedType{}, false
 }

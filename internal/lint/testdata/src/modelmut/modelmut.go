@@ -41,3 +41,38 @@ func Suppressed(m *Model) {
 	//lint:ignore modelmut fixture: exercising the suppression path
 	m.Version = 3
 }
+
+// View mirrors the sharded snapshot added by the sharding refactor: a
+// federation of Models published through the same atomic-swap discipline.
+type View struct {
+	Version uint64
+	Shards  []*Model
+}
+
+// newView is View's only allowed constructor.
+func newView(version uint64, shards []*Model) *View {
+	v := &View{}
+	v.Version = version
+	v.Shards = shards
+	return v
+}
+
+// MutateView holds the View violations: writes outside newView.
+func MutateView(v *View) []*Model {
+	v.Version = 2    // want `write to core\.View field Version outside its constructor`
+	ptr := &v.Shards // want `taking the address of core\.View field Shards`
+	return *ptr
+}
+
+// SwapView is the blessed alternative: mint a successor view.
+func SwapView(v *View, m *Model) *View {
+	shards := append([]*Model(nil), v.Shards...)
+	shards[0] = m
+	return newView(v.Version+1, shards)
+}
+
+// BuildMayNotWriteView: Model's constructors have no licence over View —
+// the allow-list is per type, not per package.
+func build2(v *View) { // named like a constructor, but not one of View's
+	v.Version = 9 // want `write to core\.View field Version outside its constructor`
+}

@@ -1,0 +1,38 @@
+// Package shard mirrors the shape of repro/internal/shard for the modelmut
+// fixture: a Plan struct, its constructor, and the writes the analyzer must
+// reject. Plans are shared by every view a store publishes, so they are held
+// to the same immutability contract as core.Model.
+package shard
+
+// Plan mirrors the immutable partitioning artifact of the real shard.Plan.
+type Plan struct {
+	K      int
+	Assign []int32
+}
+
+// Partition is the allowed constructor path.
+func Partition(k, n int) *Plan {
+	p := &Plan{}
+	p.K = k
+	p.Assign = make([]int32, n)
+	return p
+}
+
+// Mutate holds the violations: writes outside Partition.
+func Mutate(p *Plan) []int32 {
+	p.K = 2          // want `write to shard\.Plan field K outside its constructor`
+	p.K++            // want `write to shard\.Plan field K outside its constructor`
+	ptr := &p.Assign // want `taking the address of shard\.Plan field Assign`
+	return *ptr
+}
+
+// Repartition is the blessed alternative: construct a successor plan.
+func Repartition(p *Plan) *Plan {
+	return Partition(p.K+1, len(p.Assign))
+}
+
+// Suppressed documents the escape hatch.
+func Suppressed(p *Plan) {
+	//lint:ignore modelmut fixture: exercising the suppression path
+	p.K = 3
+}

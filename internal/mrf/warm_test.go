@@ -369,3 +369,67 @@ func TestBPWarmStartIncompatibleIgnored(t *testing.T) {
 		}
 	}
 }
+
+// TestNonBPEnginesCountWarmStartMisses: the Engine contract requires engines
+// without message state to count a discarded non-nil warm argument in
+// trendspeed_bp_warm_start_misses_total instead of silently ignoring it. BP
+// consumes warm beliefs and must never count a miss.
+func TestNonBPEnginesCountWarmStartMisses(t *testing.T) {
+	const w, h = 4, 3
+	g := mustGraph(t, w*h, gridSpecs(w, h))
+	topo, err := NewTopology(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := make([]float64, w*h)
+	for i := range priors {
+		priors[i] = 0.4 + 0.2*float64(i%3)/2
+	}
+	newModel := func() *Model {
+		m, err := NewModelWithTopology(topo, priors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	bp := mustBP(t)
+	warmRes, err := bp.Infer(context.Background(), newModel(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.Beliefs == nil {
+		t.Fatal("BP exported no beliefs to replay")
+	}
+
+	engines := []Engine{Exact{}, ICM{}, Gibbs{Seed: 7}, PriorOnly{}}
+	for _, eng := range engines {
+		// A nil warm is the cold-start contract, not a miss.
+		before := warmStartMisses.Value()
+		if _, err := eng.Infer(context.Background(), newModel(), nil, nil); err != nil {
+			t.Fatalf("%s cold: %v", eng.Name(), err)
+		}
+		if got := warmStartMisses.Value(); got != before {
+			t.Fatalf("%s counted a miss for a nil warm argument (%v -> %v)", eng.Name(), before, got)
+		}
+		// A non-nil warm the engine cannot consume must count exactly once.
+		if _, err := eng.Infer(context.Background(), newModel(), nil, warmRes.Beliefs); err != nil {
+			t.Fatalf("%s warm: %v", eng.Name(), err)
+		}
+		if got := warmStartMisses.Value(); got != before+1 {
+			t.Fatalf("%s: warm-start miss counter %v -> %v, want exactly +1", eng.Name(), before, got)
+		}
+	}
+
+	// BP consumes the beliefs: warm starts are counted as warm starts, never
+	// as misses.
+	missBefore, warmBefore := warmStartMisses.Value(), bpWarmStarts.Value()
+	if _, err := bp.Infer(context.Background(), newModel(), nil, warmRes.Beliefs); err != nil {
+		t.Fatal(err)
+	}
+	if got := warmStartMisses.Value(); got != missBefore {
+		t.Fatalf("BP counted a warm-start miss (%v -> %v)", missBefore, got)
+	}
+	if got := bpWarmStarts.Value(); got != warmBefore+1 {
+		t.Fatalf("BP warm start not counted (%v -> %v)", warmBefore, got)
+	}
+}

@@ -1,0 +1,242 @@
+// Package shard partitions a road network into K spatial districts for the
+// sharded estimation pipeline (core.View): each district owns the roads whose
+// midpoints fall in its cell of a gx×gy grid over the network bounds, plus a
+// halo ring of foreign roads within haloHops of the owned set in road
+// adjacency.
+//
+// The halo is what makes per-district models accurate at the boundary: a
+// district's correlation graph is built over owned + halo roads, so every
+// candidate pair within the correlation radius of an *owned* road is scored
+// exactly as the monolithic build would score it (the bounded BFS from an
+// owned road cannot leave the membership when haloHops ≥ corr.Config.
+// MaxHops), and cross-boundary correlation edges materialise as explicit
+// owned↔halo edges inside the district's own graph. Halo roads carry full
+// history but are never owned: their estimates are produced by their owning
+// district, and the stitching rounds (core.View) feed those estimates back
+// as halo priors.
+//
+// A Plan is an immutable partitioning artifact, like core.Model: build one
+// with Partition and share it freely (enforced by cmd/tslint's modelmut
+// analyzer).
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/roadnet"
+)
+
+// Plan is an immutable K-district partitioning of a road network: the
+// ownership assignment, the per-district owned and member (owned + halo)
+// road sets, and the global↔local ID translation the per-district models
+// run on.
+type Plan struct {
+	k        int
+	haloHops int
+	numRoads int
+	assign   []int32            // global road → owning district
+	owned    [][]roadnet.RoadID // per district, ascending global IDs
+	members  [][]roadnet.RoadID // owned + halo per district, ascending global IDs
+	hops     [][]int32          // per district: each member's hop distance from the owned set
+	local    [][]int32          // per district: global road → local ID, -1 when not a member
+	identity bool               // k == 1: the single district is the whole network
+}
+
+// Partition assigns every road to one of k districts by the grid cell its
+// geometric midpoint falls in (gx×gy cells over the network bounds with
+// gx = ⌈√k⌉, cells beyond k wrapping round-robin), then grows each
+// district's halo ring: every foreign road within haloHops of the owned set
+// in road adjacency. haloHops must be at least the correlation radius
+// (corr.Config.MaxHops) for per-district graphs to score owned pairs
+// exactly; Partition only requires it ≥ 1 when k > 1.
+//
+// k = 1 yields the identity plan: one district owning every road, no halo,
+// and Subnetwork returning the original network — the degenerate
+// configuration the sharded pipeline must reproduce bitwise.
+func Partition(net *roadnet.Network, k, haloHops int) (*Plan, error) {
+	if net == nil {
+		return nil, fmt.Errorf("shard: network is required")
+	}
+	n := net.NumRoads()
+	if k < 1 {
+		return nil, fmt.Errorf("shard: district count must be ≥ 1, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("shard: %d districts over %d roads", k, n)
+	}
+	if k > 1 && haloHops < 1 {
+		return nil, fmt.Errorf("shard: haloHops must be ≥ 1 with %d districts, got %d", k, haloHops)
+	}
+
+	assign := make([]int32, n)
+	if k > 1 {
+		gx := 1
+		for gx*gx < k {
+			gx++
+		}
+		gy := (k + gx - 1) / gx
+		bounds := net.Bounds()
+		cw, ch := bounds.Width()/float64(gx), bounds.Height()/float64(gy)
+		for r := 0; r < n; r++ {
+			road := net.Road(roadnet.RoadID(r))
+			mid := road.Geometry.At(road.Length() / 2)
+			cx, cy := 0, 0
+			if cw > 0 {
+				cx = int((mid.X - bounds.Min.X) / cw)
+			}
+			if ch > 0 {
+				cy = int((mid.Y - bounds.Min.Y) / ch)
+			}
+			if cx >= gx {
+				cx = gx - 1
+			}
+			if cy >= gy {
+				cy = gy - 1
+			}
+			assign[r] = int32((cy*gx + cx) % k)
+		}
+	}
+
+	owned := make([][]roadnet.RoadID, k)
+	for r := 0; r < n; r++ {
+		d := assign[r]
+		owned[d] = append(owned[d], roadnet.RoadID(r)) // ascending by construction
+	}
+
+	members := make([][]roadnet.RoadID, k)
+	hops := make([][]int32, k)
+	local := make([][]int32, k)
+	for d := 0; d < k; d++ {
+		if len(owned[d]) == 0 {
+			continue // empty district: no members, no model
+		}
+		mem := owned[d]
+		memHops := make([]int32, 0, len(owned[d]))
+		if k > 1 {
+			// Halo ring: every road the capped BFS from the owned set reaches
+			// (owned roads at hop 0, foreign roads within haloHops). Ascending
+			// order falls out of the index scan.
+			dist := net.Hops(owned[d], haloHops)
+			mem = make([]roadnet.RoadID, 0, len(owned[d]))
+			for r := 0; r < n; r++ {
+				if dist[r] >= 0 {
+					mem = append(mem, roadnet.RoadID(r))
+					memHops = append(memHops, int32(dist[r]))
+				}
+			}
+		} else {
+			memHops = memHops[:len(mem)] // all zero: every member is owned
+		}
+		members[d] = mem
+		hops[d] = memHops
+		loc := make([]int32, n)
+		for i := range loc {
+			loc[i] = -1
+		}
+		for i, g := range mem {
+			loc[g] = int32(i)
+		}
+		local[d] = loc
+	}
+
+	return &Plan{
+		k: k, haloHops: haloHops, numRoads: n,
+		assign: assign, owned: owned, members: members, hops: hops, local: local,
+		identity: k == 1,
+	}, nil
+}
+
+// NumDistricts returns K.
+func (p *Plan) NumDistricts() int { return p.k }
+
+// NumRoads returns the size of the partitioned network.
+func (p *Plan) NumRoads() int { return p.numRoads }
+
+// HaloHops returns the halo radius the plan was built with.
+func (p *Plan) HaloHops() int { return p.haloHops }
+
+// Identity reports whether this is the degenerate one-district plan.
+func (p *Plan) Identity() bool { return p.identity }
+
+// Owner returns the district owning global road r.
+func (p *Plan) Owner(r roadnet.RoadID) int { return int(p.assign[r]) }
+
+// Owned returns district d's owned roads in ascending global-ID order;
+// callers must not modify the slice.
+func (p *Plan) Owned(d int) []roadnet.RoadID { return p.owned[d] }
+
+// Members returns district d's member roads (owned + halo) in ascending
+// global-ID order; callers must not modify the slice. Empty districts have
+// no members.
+func (p *Plan) Members(d int) []roadnet.RoadID { return p.members[d] }
+
+// Local translates a global road ID into district d's local ID space;
+// ok is false when the road is not a member of d.
+func (p *Plan) Local(d int, r roadnet.RoadID) (roadnet.RoadID, bool) {
+	if p.local[d] == nil {
+		return 0, false
+	}
+	l := p.local[d][r]
+	if l < 0 {
+		return 0, false
+	}
+	return roadnet.RoadID(l), true
+}
+
+// OwnsLocal reports whether district d's local road l is owned (as opposed
+// to halo).
+func (p *Plan) OwnsLocal(d int, l roadnet.RoadID) bool {
+	return int(p.assign[p.members[d][l]]) == d
+}
+
+// MemberHops returns the hop distance of each of district d's members from
+// its owned set (0 for owned roads, 1..haloHops across the halo ring), in
+// member (local-ID) order; callers must not modify the slice. The outermost
+// distances mark the truncation frontier: a member further than
+// haloHops − corrRadius from the owned set may have correlation edges the
+// district's graph cannot see.
+func (p *Plan) MemberHops(d int) []int32 { return p.hops[d] }
+
+// Subnetwork builds the road network district d's model runs on: the member
+// roads re-indexed densely in ascending global-ID order (local road i is
+// Members(d)[i]), over the junctions those roads touch, with geometry,
+// class and name preserved. For the identity plan the original network is
+// returned unchanged, so the single-shard build stays bitwise-equal to the
+// unsharded one. Empty districts return an error; callers skip them.
+func (p *Plan) Subnetwork(net *roadnet.Network, d int) (*roadnet.Network, error) {
+	if p.identity {
+		return net, nil
+	}
+	mem := p.members[d]
+	if len(mem) == 0 {
+		return nil, fmt.Errorf("shard: district %d is empty", d)
+	}
+	// Collect the junctions of the member roads, in ascending global node
+	// order so the sub-network is deterministic.
+	nodeSet := make(map[roadnet.NodeID]bool, 2*len(mem))
+	for _, g := range mem {
+		road := net.Road(g)
+		nodeSet[road.From] = true
+		nodeSet[road.To] = true
+	}
+	nodes := make([]roadnet.NodeID, 0, len(nodeSet))
+	for id := range nodeSet {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	b := roadnet.NewBuilder()
+	nodeLocal := make(map[roadnet.NodeID]roadnet.NodeID, len(nodes))
+	for _, id := range nodes {
+		nodeLocal[id] = b.AddNode(net.Node(id).Pos)
+	}
+	for _, g := range mem {
+		road := net.Road(g)
+		b.AddRoad(nodeLocal[road.From], nodeLocal[road.To], road.Class, road.Geometry, road.Name)
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("shard: building district %d sub-network: %w", d, err)
+	}
+	return sub, nil
+}

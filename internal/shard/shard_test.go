@@ -1,0 +1,281 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// testCity builds the small synthetic city the partition tests run on.
+func testCity(t *testing.T) *roadnet.Network {
+	t.Helper()
+	cfg := roadnet.GenerateConfig{
+		BlocksX: 8, BlocksY: 6, BlockMeters: 200,
+		ArterialEvery: 4, CollectorEvery: 2,
+		Jitter: 0.1, DropLocalProb: 0.05,
+		Ring: true, Seed: 42,
+	}
+	net, err := roadnet.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return net
+}
+
+func TestPartitionIdentity(t *testing.T) {
+	net := testCity(t)
+	p, err := Partition(net, 1, 2)
+	if err != nil {
+		t.Fatalf("Partition(k=1): %v", err)
+	}
+	if !p.Identity() || p.NumDistricts() != 1 {
+		t.Fatalf("k=1 plan not identity: identity=%v k=%d", p.Identity(), p.NumDistricts())
+	}
+	if got := len(p.Owned(0)); got != net.NumRoads() {
+		t.Fatalf("identity plan owns %d of %d roads", got, net.NumRoads())
+	}
+	if got := len(p.Members(0)); got != net.NumRoads() {
+		t.Fatalf("identity plan has %d members, want %d", got, net.NumRoads())
+	}
+	for r := 0; r < net.NumRoads(); r++ {
+		l, ok := p.Local(0, roadnet.RoadID(r))
+		if !ok || int(l) != r {
+			t.Fatalf("identity local ID of road %d = %d (ok=%v), want itself", r, l, ok)
+		}
+		if !p.OwnsLocal(0, l) {
+			t.Fatalf("identity plan does not own local road %d", l)
+		}
+	}
+	sub, err := p.Subnetwork(net, 0)
+	if err != nil {
+		t.Fatalf("Subnetwork: %v", err)
+	}
+	if sub != net {
+		t.Fatal("identity Subnetwork must return the original network pointer")
+	}
+}
+
+func TestPartitionCoversAndHalos(t *testing.T) {
+	net := testCity(t)
+	const k, haloHops = 4, 2
+	p, err := Partition(net, k, haloHops)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+
+	// Every road is owned by exactly one district.
+	ownedCount := 0
+	for d := 0; d < k; d++ {
+		for _, r := range p.Owned(d) {
+			if p.Owner(r) != d {
+				t.Fatalf("road %d in Owned(%d) but Owner says %d", r, d, p.Owner(r))
+			}
+			ownedCount++
+		}
+	}
+	if ownedCount != net.NumRoads() {
+		t.Fatalf("districts own %d roads in total, want %d", ownedCount, net.NumRoads())
+	}
+
+	for d := 0; d < k; d++ {
+		owned := p.Owned(d)
+		if len(owned) == 0 {
+			continue
+		}
+		members := p.Members(d)
+		// Members = exactly the roads the capped BFS reaches, ascending.
+		dist := net.Hops(owned, haloHops)
+		want := 0
+		for _, h := range dist {
+			if h >= 0 {
+				want++
+			}
+		}
+		if len(members) != want {
+			t.Fatalf("district %d has %d members, BFS reaches %d roads", d, len(members), want)
+		}
+		for i, g := range members {
+			if i > 0 && members[i-1] >= g {
+				t.Fatalf("district %d members not strictly ascending at %d", d, i)
+			}
+			if dist[g] < 0 {
+				t.Fatalf("district %d member %d outside the halo radius", d, g)
+			}
+			l, ok := p.Local(d, g)
+			if !ok || int(l) != i {
+				t.Fatalf("Local(%d, %d) = %d, %v; want %d, true", d, g, l, ok, i)
+			}
+			if got, want := p.OwnsLocal(d, l), p.Owner(g) == d; got != want {
+				t.Fatalf("OwnsLocal(%d, %d) = %v, want %v", d, l, got, want)
+			}
+		}
+		// Non-members are not resolvable.
+		for r := 0; r < net.NumRoads(); r++ {
+			if dist[r] < 0 {
+				if _, ok := p.Local(d, roadnet.RoadID(r)); ok {
+					t.Fatalf("non-member road %d resolves in district %d", r, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSubnetworkPreservesRoads(t *testing.T) {
+	net := testCity(t)
+	p, err := Partition(net, 4, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	for d := 0; d < p.NumDistricts(); d++ {
+		members := p.Members(d)
+		if len(members) == 0 {
+			continue
+		}
+		sub, err := p.Subnetwork(net, d)
+		if err != nil {
+			t.Fatalf("Subnetwork(%d): %v", d, err)
+		}
+		if sub.NumRoads() != len(members) {
+			t.Fatalf("district %d sub-network has %d roads, want %d", d, sub.NumRoads(), len(members))
+		}
+		for l := 0; l < sub.NumRoads(); l++ {
+			lr := sub.Road(roadnet.RoadID(l))
+			gr := net.Road(members[l])
+			if lr.Class != gr.Class || lr.Name != gr.Name {
+				t.Fatalf("district %d local road %d: class/name mismatch with global road %d", d, l, members[l])
+			}
+			if lr.Length() != gr.Length() {
+				t.Fatalf("district %d local road %d: length %v, global %v", d, l, lr.Length(), gr.Length())
+			}
+			// Sub-network adjacency must be the restriction of the global
+			// adjacency to the member set.
+			wantAdj := 0
+			for _, nb := range net.Adjacent(members[l]) {
+				if _, ok := p.Local(d, nb); ok {
+					wantAdj++
+				}
+			}
+			if got := len(sub.Adjacent(roadnet.RoadID(l))); got != wantAdj {
+				t.Fatalf("district %d local road %d: %d adjacent roads, want %d", d, l, got, wantAdj)
+			}
+		}
+	}
+}
+
+// TestPartitionEmptyDistrict forces empty districts by partitioning a purely
+// one-dimensional network (all midpoints on the x-axis) into a 2×2 grid: the
+// second grid row matches no road, so two of the four districts stay empty
+// and produce no members and no sub-network.
+func TestPartitionEmptyDistrict(t *testing.T) {
+	b := roadnet.NewBuilder()
+	const nodes = 8
+	ids := make([]roadnet.NodeID, nodes)
+	for i := range ids {
+		ids[i] = b.AddNode(geo.Pt(float64(i)*100, 0))
+	}
+	for i := 0; i+1 < nodes; i++ {
+		b.AddTwoWay(ids[i], ids[i+1], roadnet.Local, "line")
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := Partition(net, 4, 1)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	empty := 0
+	for d := 0; d < 4; d++ {
+		if len(p.Owned(d)) == 0 {
+			empty++
+			if len(p.Members(d)) != 0 {
+				t.Fatalf("empty district %d has %d members", d, len(p.Members(d)))
+			}
+			if _, err := p.Subnetwork(net, d); err == nil {
+				t.Fatalf("Subnetwork on empty district %d should fail", d)
+			}
+			if _, ok := p.Local(d, 0); ok {
+				t.Fatalf("empty district %d resolves road 0", d)
+			}
+		}
+	}
+	if empty == 0 {
+		t.Fatal("expected at least one empty district on a 1-D network with k=4")
+	}
+	// Every road still has exactly one owner among the non-empty districts.
+	for r := 0; r < net.NumRoads(); r++ {
+		d := p.Owner(roadnet.RoadID(r))
+		found := false
+		for _, o := range p.Owned(d) {
+			if o == roadnet.RoadID(r) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("road %d missing from its owner district %d", r, d)
+		}
+	}
+}
+
+// TestBoundarySpanningRoad places one long road whose geometry crosses the
+// grid boundary: it must be owned by exactly the district holding its
+// midpoint and show up in the neighbouring district's halo.
+func TestBoundarySpanningRoad(t *testing.T) {
+	b := roadnet.NewBuilder()
+	// Two clusters, left (x ≈ 0..200) and right (x ≈ 800..1000), joined by a
+	// long bridge road whose midpoint (x = 500) lands in the left half-open
+	// grid cell of a k=2 split over [0, 1000].
+	l0 := b.AddNode(geo.Pt(0, 0))
+	l1 := b.AddNode(geo.Pt(200, 0))
+	r0 := b.AddNode(geo.Pt(800, 0))
+	r1 := b.AddNode(geo.Pt(1000, 0))
+	b.AddTwoWay(l0, l1, roadnet.Local, "left")
+	bridge := b.AddRoad(l1, r0, roadnet.Arterial, geo.Polyline{geo.Pt(200, 0), geo.Pt(800, 0)}, "bridge")
+	b.AddTwoWay(r0, r1, roadnet.Local, "right")
+	net, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := Partition(net, 2, 1)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	owner := p.Owner(bridge)
+	// Owned exactly once: present in the owner's owned set, absent elsewhere.
+	other := 1 - owner
+	for _, r := range p.Owned(other) {
+		if r == bridge {
+			t.Fatalf("bridge road owned by both districts")
+		}
+	}
+	if _, ok := p.Local(owner, bridge); !ok {
+		t.Fatalf("bridge road not a member of its owner district %d", owner)
+	}
+	// The bridge is adjacent to roads owned by the other district, so it must
+	// appear in that district's halo (non-owned member).
+	l, ok := p.Local(other, bridge)
+	if !ok {
+		t.Fatalf("bridge road missing from district %d's halo", other)
+	}
+	if p.OwnsLocal(other, l) {
+		t.Fatalf("district %d claims to own the bridge road", other)
+	}
+}
+
+func TestPartitionRejectsBadArgs(t *testing.T) {
+	net := testCity(t)
+	if _, err := Partition(nil, 1, 2); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := Partition(net, 0, 2); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Partition(net, net.NumRoads()+1, 2); err == nil {
+		t.Fatal("k > roads accepted")
+	}
+	if _, err := Partition(net, 2, 0); err == nil {
+		t.Fatal("haloHops=0 accepted with k>1")
+	}
+}

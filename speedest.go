@@ -44,8 +44,13 @@ type Model = core.Model
 // Deprecated: use Model (or a Store, which manages versioned Models).
 type Estimator = core.Model
 
-// Store publishes the current Model and rebuilds successors from ingested
-// observations without blocking estimation.
+// View is the published snapshot a Store serves: one Model when unsharded,
+// or K district Models stitched at their boundaries when Options.Shards > 1.
+type View = core.View
+
+// Store publishes the current View and rebuilds successors from ingested
+// observations without blocking estimation; on sharded deployments each
+// district rebuilds and swaps independently.
 type Store = core.Store
 
 // StoreConfig arms a Store's background rebuild triggers.
