@@ -48,13 +48,15 @@ func main() {
 	obs.RegisterBuildInfo(obs.Default())
 
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2), all, or none")
-		fast       = flag.Bool("fast", false, "reduced dataset scale for smoke runs")
-		out        = flag.String("out", "", "write a markdown report to this path")
-		jsonOut    = flag.String("json", "", "write a JSON report (experiment timings + metrics registry snapshot) to this path")
-		rebuild    = flag.Bool("rebuild-bench", false, "measure an incremental vs full model rebuild on the same delta and gate on the equivalence bound (recorded under rebuild_incremental in -json)")
-		shardBench = flag.Bool("shard-bench", false, "sweep the shard counts from -shards at two network sizes, gate K=4 boundary stitching on the equivalence bound, and record build/estimate/localized-rebuild timings (under shard_scale in -json)")
-		shards     = flag.String("shards", "1,4,16", "comma-separated shard counts compared by -shard-bench")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6,F7,F8,F9,F10,F11,A1,A2,A3,A4,E1,E2), all, or none")
+		fast        = flag.Bool("fast", false, "reduced dataset scale for smoke runs")
+		out         = flag.String("out", "", "write a markdown report to this path")
+		jsonOut     = flag.String("json", "", "write a JSON report (experiment timings + metrics registry snapshot) to this path")
+		rebuild     = flag.Bool("rebuild-bench", false, "measure an incremental vs full model rebuild on the same delta and gate on the equivalence bound (recorded under rebuild_incremental in -json)")
+		shardBench  = flag.Bool("shard-bench", false, "sweep the shard counts from -shards at two network sizes, gate K=4 boundary stitching on the equivalence bound, and record build/estimate/localized-rebuild timings (under shard_scale in -json)")
+		shards      = flag.String("shards", "1,4,16", "comma-separated shard counts compared by -shard-bench")
+		allocGate   = flag.String("alloc-gate", "", "measure steady-state allocations per estimate round and fail if they regress >10% over the baseline JSON at this path (recorded under estimate_allocs in -json)")
+		allocUpdate = flag.Bool("update-alloc-baseline", false, "with -alloc-gate, rewrite the baseline file from this run's measurement instead of gating against it")
 	)
 	flag.Parse()
 
@@ -133,6 +135,11 @@ func main() {
 		shardRec = runShardBench(*fast, parseShardCounts(*shards))
 	}
 
+	var allocRec *allocRecord
+	if *allocGate != "" {
+		allocRec = runAllocGate(*allocGate, *allocUpdate)
+	}
+
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
 			log.Fatal(err)
@@ -158,8 +165,11 @@ func main() {
 			// ShardScale carries the -shard-bench sweep: per shard count and
 			// network size, the cold build, per-round estimate and localized
 			// rebuild timings plus the stitching divergence against K=1.
-			ShardScale *shardBenchRecord             `json:"shard_scale,omitempty"`
-			Metrics    map[string]obs.FamilySnapshot `json:"metrics"`
+			ShardScale *shardBenchRecord `json:"shard_scale,omitempty"`
+			// Alloc carries the -alloc-gate measurement: exact steady-state
+			// allocations per estimate round against the checked-in baseline.
+			Alloc   *allocRecord                  `json:"estimate_allocs,omitempty"`
+			Metrics map[string]obs.FamilySnapshot `json:"metrics"`
 		}{
 			GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
 			Fast:            *fast,
@@ -169,6 +179,7 @@ func main() {
 			EstimateLatency: core.EstimateLatencyQuantiles(),
 			Rebuild:         rebuildRec,
 			ShardScale:      shardRec,
+			Alloc:           allocRec,
 			Metrics:         obs.Default().Snapshot(),
 		}
 		raw, err := json.MarshalIndent(doc, "", "  ")

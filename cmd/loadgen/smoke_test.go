@@ -76,9 +76,9 @@ func TestParseScriptErrors(t *testing.T) {
 		{"baddirective", "teleport to=work", "unknown directive"},
 		{"badpair", "mix estimate", "not key=value"},
 		{"badweight", "mix estimate=-3", "non-negative"},
-		{"badrange", "mix seeds=10\nseeds k=60..10", "1 ≤ lo ≤ hi"},
-		{"badhours", "mix estimate=1\nreplay hours=10..7", "0 ≤ from < to ≤ 24"},
-		{"badskewrange", "mix ingest=1\nskew hot=30..20", "0 ≤ lo < hi ≤ 100"},
+		{"badrange", "mix seeds=10\nseeds k=60..10", "range lo..hi needs lo ≤ hi"},
+		{"badhours", "mix estimate=1\nreplay hours=7..7", "0 ≤ from < to ≤ 24"},
+		{"badskewrange", "mix ingest=1\nskew hot=30..120", "0 ≤ lo < hi ≤ 100"},
 		{"badskewfrac", "mix ingest=1\nskew hot=0..10 frac=1.5", "must be in (0, 1]"},
 		{"unknownfield", "mix estimate=1\nestimate reprots=40", "unknown field"},
 		{"dupfield", "mix estimate=1 estimate=2", "duplicate field"},

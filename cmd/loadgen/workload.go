@@ -152,6 +152,9 @@ func ParseScript(name, src string) (*Workload, error) {
 			}); err != nil {
 				return nil, fmt.Errorf("%s:%d: %v", name, ln+1, err)
 			}
+			if w.Estimate.Noise < 0 {
+				return nil, fmt.Errorf("%s:%d: estimate noise=%g must be ≥ 0", name, ln+1, w.Estimate.Noise)
+			}
 		case "seeds":
 			if err := assign(pairs, map[string]any{
 				"k": rangeTarget{&w.Seeds.KMin, &w.Seeds.KMax},
@@ -164,6 +167,9 @@ func ParseScript(name, src string) (*Workload, error) {
 				"noise": &w.Ingest.Noise,
 			}); err != nil {
 				return nil, fmt.Errorf("%s:%d: %v", name, ln+1, err)
+			}
+			if w.Ingest.Noise < 0 {
+				return nil, fmt.Errorf("%s:%d: ingest noise=%g must be ≥ 0", name, ln+1, w.Ingest.Noise)
 			}
 		case "replay":
 			rp := &ReplayParams{}
@@ -189,7 +195,10 @@ func ParseScript(name, src string) (*Workload, error) {
 				return nil, fmt.Errorf("%s:%d: skew hot=%d..%d must satisfy 0 ≤ lo < hi ≤ 100",
 					name, ln+1, sp.HotLoPct, sp.HotHiPct)
 			}
-			if sp.Frac <= 0 || sp.Frac > 1 {
+			// Written as a negated conjunction so NaN fails too: with the
+			// usual `frac <= 0 || frac > 1` form every comparison against
+			// NaN is false and frac=NaN sails through to poison rng draws.
+			if !(sp.Frac > 0 && sp.Frac <= 1) {
 				return nil, fmt.Errorf("%s:%d: skew frac=%g must be in (0, 1]", name, ln+1, sp.Frac)
 			}
 			w.Skew = sp
@@ -253,6 +262,11 @@ func assign(pairs map[string]string, targets map[string]any) error {
 			if err != nil {
 				return fmt.Errorf("field %s=%q: not a number", k, v)
 			}
+			// ParseFloat happily produces NaN and ±Inf, which every
+			// downstream range check written with < or > silently accepts.
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("field %s=%q: must be a finite number", k, v)
+			}
 			*t = f
 		case rangeTarget:
 			lo, hi, ok := strings.Cut(v, "..")
@@ -263,6 +277,11 @@ func assign(pairs map[string]string, targets map[string]any) error {
 			h, err2 := strconv.Atoi(hi)
 			if err1 != nil || err2 != nil {
 				return fmt.Errorf("field %s=%q: want integer lo..hi", k, v)
+			}
+			// Reject inverted ranges here so the error carries the script
+			// line, instead of surfacing (or not) in end-of-parse checks.
+			if l > h {
+				return fmt.Errorf("field %s=%d..%d: range lo..hi needs lo ≤ hi", k, l, h)
 			}
 			*t.lo, *t.hi = l, h
 		default:

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseScriptRejects pins the parser's validation with the exact
+// line-numbered error each malformed script must produce: the skew fraction
+// and noise holes (NaN, infinities, out-of-range values) and inverted lo..hi
+// ranges all fail at the offending line, never silently parse.
+func TestParseScriptRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string // substring of the error, including name:line
+	}{
+		{
+			name:    "skew frac NaN",
+			src:     "mix ingest=1\nskew hot=0..10 frac=NaN\n",
+			wantErr: "bad:2: field frac=\"NaN\": must be a finite number",
+		},
+		{
+			name:    "skew frac inf",
+			src:     "mix ingest=1\nskew hot=0..10 frac=+Inf\n",
+			wantErr: "bad:2: field frac=\"+Inf\": must be a finite number",
+		},
+		{
+			name:    "skew frac zero",
+			src:     "mix ingest=1\nskew hot=0..10 frac=0\n",
+			wantErr: "bad:2: skew frac=0 must be in (0, 1]",
+		},
+		{
+			name:    "skew frac above one",
+			src:     "mix ingest=1\nskew hot=0..10 frac=1.5\n",
+			wantErr: "bad:2: skew frac=1.5 must be in (0, 1]",
+		},
+		{
+			name:    "skew hot inverted",
+			src:     "mix ingest=1\nskew hot=20..10 frac=0.9\n",
+			wantErr: "bad:2: field hot=20..10: range lo..hi needs lo ≤ hi",
+		},
+		{
+			name:    "skew hot over 100 percent",
+			src:     "mix ingest=1\nskew hot=0..120 frac=0.9\n",
+			wantErr: "bad:2: skew hot=0..120 must satisfy 0 ≤ lo < hi ≤ 100",
+		},
+		{
+			name:    "seeds k inverted",
+			src:     "mix seeds=1\nseeds k=40..10\n",
+			wantErr: "bad:2: field k=40..10: range lo..hi needs lo ≤ hi",
+		},
+		{
+			name:    "seeds k zero lo",
+			src:     "mix seeds=1\nseeds k=0..40\n",
+			wantErr: "seeds k=0..40 must satisfy 1 ≤ lo ≤ hi",
+		},
+		{
+			name:    "replay hours inverted",
+			src:     "mix estimate=1\nreplay hours=10..7\n",
+			wantErr: "bad:2: field hours=10..7: range lo..hi needs lo ≤ hi",
+		},
+		{
+			name:    "replay hours empty window",
+			src:     "mix estimate=1\nreplay hours=7..7\n",
+			wantErr: "bad:2: replay hours=7..7 must satisfy 0 ≤ from < to ≤ 24",
+		},
+		{
+			name:    "replay hours past midnight",
+			src:     "mix estimate=1\nreplay hours=20..25\n",
+			wantErr: "bad:2: replay hours=20..25 must satisfy 0 ≤ from < to ≤ 24",
+		},
+		{
+			name:    "estimate noise NaN",
+			src:     "mix estimate=1\nestimate reports=10 noise=nan\n",
+			wantErr: "bad:2: field noise=\"nan\": must be a finite number",
+		},
+		{
+			name:    "estimate noise negative",
+			src:     "mix estimate=1\nestimate reports=10 noise=-0.1\n",
+			wantErr: "bad:2: estimate noise=-0.1 must be ≥ 0",
+		},
+		{
+			name:    "ingest noise negative",
+			src:     "mix ingest=1\ningest batch=10 noise=-1\n",
+			wantErr: "bad:2: ingest noise=-1 must be ≥ 0",
+		},
+		{
+			name:    "range not integers",
+			src:     "mix seeds=1\nseeds k=a..b\n",
+			wantErr: "bad:2: field k=\"a..b\": want integer lo..hi",
+		},
+		{
+			name:    "mix weight negative",
+			src:     "mix estimate=-1\n",
+			wantErr: "bad:1: mix weight estimate=\"-1\" must be a non-negative integer",
+		},
+		{
+			name:    "no mix line",
+			src:     "estimate reports=10\n",
+			wantErr: "bad: no positive op weights",
+		},
+		{
+			name:    "unknown directive",
+			src:     "mix estimate=1\nthrottle rps=5\n",
+			wantErr: "bad:2: unknown directive \"throttle\"",
+		},
+		{
+			name:    "unknown field",
+			src:     "mix estimate=1\nestimate retries=3\n",
+			wantErr: "bad:2: unknown field \"retries\"",
+		},
+		{
+			name:    "duplicate field",
+			src:     "mix estimate=1\nestimate noise=0.1 noise=0.2\n",
+			wantErr: "bad:2: duplicate field \"noise\"",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScript("bad", tc.src)
+			if err == nil {
+				t.Fatalf("ParseScript accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseScriptAccepts checks the happy path: every built-in script parses,
+// and explicit values land in the right parameter blocks.
+func TestParseScriptAccepts(t *testing.T) {
+	for name, src := range builtinScripts {
+		if _, err := ParseScript(name, src); err != nil {
+			t.Errorf("built-in script %s rejected: %v", name, err)
+		}
+	}
+	w, err := ParseScript("full", `
+# exercise every directive
+mix estimate=50 ingest=30 seeds=20
+estimate reports=40 noise=0.15
+ingest batch=120 noise=0.05
+seeds k=5..25
+replay hours=7..10
+skew hot=10..30 frac=0.8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Weights["estimate"] != 50 || w.Weights["ingest"] != 30 || w.Weights["seeds"] != 20 {
+		t.Errorf("weights = %v", w.Weights)
+	}
+	if w.Estimate.Reports != 40 || w.Estimate.Noise != 0.15 {
+		t.Errorf("estimate params = %+v", w.Estimate)
+	}
+	if w.Ingest.Batch != 120 || w.Ingest.Noise != 0.05 {
+		t.Errorf("ingest params = %+v", w.Ingest)
+	}
+	if w.Seeds.KMin != 5 || w.Seeds.KMax != 25 {
+		t.Errorf("seeds params = %+v", w.Seeds)
+	}
+	if w.Replay == nil || w.Replay.HourFrom != 7 || w.Replay.HourTo != 10 {
+		t.Errorf("replay params = %+v", w.Replay)
+	}
+	if w.Skew == nil || w.Skew.HotLoPct != 10 || w.Skew.HotHiPct != 30 || w.Skew.Frac != 0.8 {
+		t.Errorf("skew params = %+v", w.Skew)
+	}
+	// Defaults fill what a script leaves unstated.
+	min, err := ParseScript("min", "mix estimate=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Estimate.Reports != 30 || min.Seeds.KMin != 10 || min.Ingest.Batch != 100 {
+		t.Errorf("defaults not applied: %+v", min)
+	}
+}

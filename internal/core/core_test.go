@@ -12,7 +12,7 @@ import (
 	"repro/internal/roadnet"
 )
 
-func buildEstimator(t *testing.T) (*dataset.Dataset, *Model) {
+func buildEstimator(t testing.TB) (*dataset.Dataset, *Model) {
 	t.Helper()
 	cfg := dataset.DefaultConfig()
 	cfg.Net.BlocksX, cfg.Net.BlocksY = 8, 7

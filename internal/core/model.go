@@ -87,6 +87,7 @@ type Model struct {
 // fresh wrap it in a Store (NewStore), which rebuilds successor versions
 // from ingested observations and hot-swaps them.
 func New(net *roadnet.Network, db *history.DB, opts Options) (*Model, error) {
+	//lint:ignore ctxflow New is the documented ctx-less offline constructor; Store rebuilds pass their lifetime ctx through build directly
 	return build(context.Background(), net, db, opts, 1)
 }
 
@@ -498,6 +499,7 @@ func (m *Model) seedRels(slot int, seedSpeeds map[roadnet.RoadID]float64) map[ro
 // path (no graphical model at all).
 func (m *Model) trendFreeRels(ctx context.Context, slot int, seedRels map[roadnet.RoadID]float64, seedModel *hlm.SeedModel, opts EstimateOptions) ([]float64, error) {
 	var rels []float64
+	//lint:hotpath-ok one span-bracketing thunk per phase per round (not per index); timePhase needs a closure to time and the round does O(roads) work inside it
 	if err := timePhase(ctx, "speed", func() (err error) {
 		rels, err = m.estimateRels(&hlm.Request{
 			Slot: slot, SeedRels: seedRels, TrendUp: make([]bool, m.net.NumRoads()),
@@ -529,6 +531,7 @@ func trendFreeTrends(rels []float64) (pUp []float64, trendUp []bool) {
 func (m *Model) prePass(ctx context.Context, slot int, seedRels map[roadnet.RoadID]float64, seedModel *hlm.SeedModel, noSeedModel bool) ([]float64, error) {
 	preTrend := make([]bool, m.net.NumRoads()) // ignored in trend-free mode
 	var preRels []float64
+	//lint:hotpath-ok one span-bracketing thunk per phase per round (not per index); timePhase needs a closure to time and the round does O(roads) work inside it
 	if err := timePhase(ctx, "pre_pass", func() (err error) {
 		preRels, err = m.estimateRels(&hlm.Request{
 			Slot: slot, SeedRels: seedRels, TrendUp: preTrend, TrendFree: true,
@@ -567,6 +570,7 @@ func (m *Model) trendPriors(slot int, seedRels map[roadnet.RoadID]float64) []flo
 // the previous one's beliefs.
 func (m *Model) inferTrends(ctx context.Context, priors []float64, engineOverride mrf.Engine, warm *mrf.Beliefs) (*mrf.Result, error) {
 	var trends *mrf.Result
+	//lint:hotpath-ok one span-bracketing thunk per phase per round (not per index); timePhase needs a closure to time and the round does O(roads) work inside it
 	if err := timePhase(ctx, "trend", func() error {
 		model, err := mrf.NewModelWithTopology(m.trendTopo, priors)
 		if err != nil {
@@ -598,7 +602,15 @@ func (m *Model) fuseTrends(trendPUp, preRels []float64, seedRels map[roadnet.Roa
 	n := len(trendPUp)
 	pUp = make([]float64, n)
 	trendUp = make([]bool, n)
-	for r := 0; r < n; r++ {
+	m.fuseTrendsInto(pUp, trendUp, trendPUp, preRels, seedRels)
+	return pUp, trendUp
+}
+
+// fuseTrendsInto is the allocation-free core of fuseTrends: it writes the
+// fused posterior into caller-provided slices (len(trendPUp) each), so the
+// per-road fusion loop itself allocates nothing (TestFuseTrendsAllocs).
+func (m *Model) fuseTrendsInto(pUp []float64, trendUp []bool, trendPUp, preRels []float64, seedRels map[roadnet.RoadID]float64) {
+	for r := range trendPUp {
 		pUp[r] = combineOdds(trendPUp[r], trendEvidence(preRels[r], m.preTrendNoise))
 		trendUp[r] = pUp[r] >= 0.5
 	}
@@ -607,12 +619,12 @@ func (m *Model) fuseTrends(trendPUp, preRels []float64, seedRels map[roadnet.Roa
 		pUp[road] = p
 		trendUp[road] = p >= 0.5
 	}
-	return pUp, trendUp
 }
 
 // speedRels is step 2: the trend-conditioned hierarchical regression.
 func (m *Model) speedRels(ctx context.Context, slot int, seedRels map[roadnet.RoadID]float64, trendUp []bool, pUp []float64, seedModel *hlm.SeedModel, opts EstimateOptions) ([]float64, error) {
 	var rels []float64
+	//lint:hotpath-ok one span-bracketing thunk per phase per round (not per index); timePhase needs a closure to time and the round does O(roads) work inside it
 	if err := timePhase(ctx, "speed", func() (err error) {
 		rels, err = m.estimateRels(&hlm.Request{
 			Slot:     slot,

@@ -142,10 +142,12 @@ type Store struct {
 // NewStore trains the version-1 view (opts.Shards district models; one
 // unsharded model by default) and returns a store publishing it.
 func NewStore(net *roadnet.Network, db *history.DB, opts Options) (*Store, error) {
+	//lint:ignore ctxflow NewStore is the documented ctx-less constructor; the initial build is offline and bounded by input size
 	v, err := buildView(context.Background(), net, db, opts, 1)
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxflow the store's lifetime context is minted here by design: rebuilds must outlive any caller's request ctx and are cancelled only by Close
 	lifetime, cancel := context.WithCancel(context.Background())
 	s := &Store{
 		opts:     opts,

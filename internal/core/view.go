@@ -64,6 +64,7 @@ func newView(version uint64, net *roadnet.Network, plan *shard.Plan, shards []*M
 // wrapped in a one-district view. Deployments that want rebuilds wrap it in
 // a Store.
 func NewView(net *roadnet.Network, db *history.DB, opts Options) (*View, error) {
+	//lint:ignore ctxflow NewView is the documented ctx-less offline constructor; Store rebuilds pass their lifetime ctx through buildView directly
 	return buildView(context.Background(), net, db, opts, 1)
 }
 
@@ -454,6 +455,7 @@ func (v *View) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadne
 
 	// Phase fan-out: every district runs pre-pass, priors and its first
 	// trend inference (or the whole trend-free regression) concurrently.
+	//lint:hotpath-ok one task closure per phase fan-out (a handful of districts, each doing O(roads) work); EachCtx's task-level API takes a closure by design
 	if err := par.EachCtx(ctx, len(states), 0, func(i int) error {
 		st := states[i]
 		st.seedModel = st.m.seedModel.Load()
@@ -503,6 +505,7 @@ func (v *View) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadne
 					st.priors[l] = states[os].trends.PUp[ol]
 				}
 			}
+			//lint:hotpath-ok one task closure per stitch round (a handful of districts, each doing O(roads) work); EachCtx's task-level API takes a closure by design
 			if err := par.EachCtx(ctx, len(states), 0, func(i int) error {
 				st := states[i]
 				warm := st.m.warm
@@ -523,6 +526,7 @@ func (v *View) estimateWith(ctx context.Context, slot int, seedSpeeds map[roadne
 
 	// Fusion and the trend-conditioned regression, again per district.
 	if !opts.TrendFree {
+		//lint:hotpath-ok one task closure per fusion fan-out (a handful of districts, each doing O(roads) work); EachCtx's task-level API takes a closure by design
 		if err := par.EachCtx(ctx, len(states), 0, func(i int) error {
 			st := states[i]
 			st.pUp, st.trendUp = st.m.fuseTrends(st.trends.PUp, st.preRels, st.seedRels)

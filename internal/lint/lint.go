@@ -14,14 +14,22 @@
 // == (floateq). Each analyzer documents the invariant it encodes; DESIGN.md
 // §9 maps analyzers to the PR that introduced the invariant.
 //
+// On top of the single-function checks sits an intra-package static
+// callgraph (callgraph.go) powering three dataflow analyzers: the estimation
+// hot path must not allocate (hotalloc), contexts must flow into every
+// cancellable callee (ctxflow), and published snapshots must never be
+// written through retained aliases (pubsafe). DESIGN.md §14 documents the
+// graph's construction and its soundness caveats.
+//
 // Diagnostics can be suppressed with a directive comment on the offending
 // line or the line directly above it:
 //
 //	//lint:ignore <check> <reason>
+//	//lint:hotpath-ok <reason>     (sugar for //lint:ignore hotalloc)
 //
 // The reason is mandatory: a suppression without a recorded justification is
 // itself reported. cmd/tslint is the CLI driver; `go run ./cmd/tslint ./...`
-// exits non-zero if any diagnostic survives suppression.
+// exits with status 2 if any diagnostic survives suppression.
 package lint
 
 import (
@@ -55,10 +63,13 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicLoad,
+		CtxFlow,
 		ErrWrap,
 		FloatEq,
+		HotAlloc,
 		MetricName,
 		ModelMut,
+		PubSafe,
 		SpanEnd,
 	}
 }
@@ -84,10 +95,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Diagnostic is one finding: where, what, and which check produced it.
+// Suppressed marks findings excused by a //lint:ignore (or //lint:hotpath-ok)
+// directive; Run filters them out, RunAll keeps them for tooling that renders
+// the full picture (cmd/tslint -json).
 type Diagnostic struct {
-	Check   string
-	Pos     token.Position
-	Message string
+	Check      string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -106,15 +121,38 @@ type ignoreDirective struct {
 // directivePrefix is what a suppression comment must start with.
 const directivePrefix = "lint:ignore"
 
-// parseDirectives extracts the //lint:ignore directives of a file, reporting
-// malformed ones (missing check name or missing reason) as diagnostics so a
-// suppression can never silently record no justification.
+// hotpathPrefix is the dedicated hot-path suppression: //lint:hotpath-ok
+// <reason> is sugar for //lint:ignore hotalloc <reason>, so the allocation
+// waivers the reviewers grep for stand out from generic suppressions.
+const hotpathPrefix = "lint:hotpath-ok"
+
+// parseDirectives extracts the //lint:ignore and //lint:hotpath-ok
+// directives of a file, reporting malformed ones (missing check name or
+// missing reason) as diagnostics so a suppression can never silently record
+// no justification.
 func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []ignoreDirective {
 	var out []ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			text = strings.TrimSpace(text)
+			if strings.HasPrefix(text, hotpathPrefix) {
+				reason := strings.TrimSpace(strings.TrimPrefix(text, hotpathPrefix))
+				if reason == "" {
+					report(Diagnostic{
+						Check:   "directive",
+						Pos:     fset.Position(c.Pos()),
+						Message: "malformed //lint:hotpath-ok directive: want //lint:hotpath-ok <reason>",
+					})
+					continue
+				}
+				out = append(out, ignoreDirective{
+					check: HotAlloc.Name,
+					line:  fset.Position(c.Pos()).Line,
+					pos:   c.Pos(),
+				})
+				continue
+			}
 			if !strings.HasPrefix(text, directivePrefix) {
 				continue
 			}
@@ -144,6 +182,23 @@ func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) 
 // directly below it; directives that suppress nothing are reported as
 // unused, so stale suppressions cannot outlive the violation they excused.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll is Run without the suppression filter: excused diagnostics are
+// returned too, marked Suppressed, so tooling (cmd/tslint -json) can render
+// the complete picture including the waivers in force.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
@@ -179,7 +234,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 }
 
 // suppress applies one package's //lint:ignore directives to its raw
-// diagnostics and appends directive hygiene findings (malformed or unused
+// diagnostics — marking excused findings Suppressed rather than dropping
+// them — and appends directive hygiene findings (malformed or unused
 // directives for checks this run knows about).
 func suppress(pkg *Package, raw []Diagnostic, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
@@ -195,18 +251,15 @@ func suppress(pkg *Package, raw []Diagnostic, analyzers []*Analyzer) []Diagnosti
 		})
 	}
 	for _, d := range raw {
-		suppressed := false
 		file := directives[d.Pos.Filename]
 		for i := range file {
 			dir := &file[i]
 			if dir.check == d.Check && (dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
 				dir.used = true
-				suppressed = true
+				d.Suppressed = true
 			}
 		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
+		kept = append(kept, d)
 	}
 	for _, file := range directives {
 		for _, dir := range file {

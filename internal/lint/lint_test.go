@@ -24,6 +24,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{MetricName, "metricname"},
 		{ErrWrap, "errwrap"},
 		{FloatEq, "floateq"},
+		{HotAlloc, "hotalloc"},
+		{HotAlloc, "hotalloc_mrf"},
+		{CtxFlow, "ctxflow"},
+		{PubSafe, "pubsafe"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

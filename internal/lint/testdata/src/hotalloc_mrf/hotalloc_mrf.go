@@ -1,0 +1,39 @@
+// Package mrf mirrors repro/internal/mrf for the hotalloc fixture's
+// interface-root expansion: Engine.Infer is a registered hot root with an
+// interface receiver, so every same-package implementation's Infer method is
+// hot, while methods outside the interface's method set stay cold.
+package mrf
+
+import "context"
+
+// Engine mirrors the inference-engine interface whose Infer is a hot root.
+type Engine interface {
+	Infer(ctx context.Context, priors []float64) []float64
+}
+
+// BP implements Engine; its Infer inherits the allocation discipline.
+type BP struct {
+	damping float64
+}
+
+// Infer implements Engine.
+func (b *BP) Infer(ctx context.Context, priors []float64) []float64 {
+	out := make([]float64, len(priors))
+	seed := []float64{0.5} // want `slice literal allocates on the hot path \(BP\.Infer\)`
+	copy(out, priors)
+	out[0] = seed[0] * b.damping
+	return out
+}
+
+// Trainer does not implement Engine (different method set); its allocations
+// are off the hot path.
+type Trainer struct{}
+
+// Train allocates freely: nothing reaches it from a root.
+func (Trainer) Train(labels map[string]int) map[string]int {
+	out := map[string]int{}
+	for l := range labels {
+		out[l+"-trained"] = 1
+	}
+	return out
+}

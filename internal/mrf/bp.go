@@ -100,6 +100,160 @@ func (b *BP) getBuf(size int) []float64 {
 	return make([]float64, size)
 }
 
+// bpRun is one Infer invocation's mutable state. The message-sweep and
+// marginal-readout loop bodies are methods on this struct rather than
+// closures inside Infer: a closure rebuilt per round is one heap allocation
+// per round (its captures escape into par's workers), while a method value
+// bound once in newBPRun makes every subsequent round pass the same func
+// value — the message round itself then allocates nothing on the serial
+// path, which TestBPRoundAllocs pins and the benchrunner alloc gate guards.
+type bpRun struct {
+	cfg  *BPConfig
+	m    *Model
+	topo *Topology
+	ev   []int8
+	n    int
+	// Directed-edge message storage in the topology's CSR layout: slot i in
+	// [off[u], off[u+1]) is the message from neighbour to[i] into u, as
+	// P(up). Every slot is rewritten each round (its sender always has ≥ 1
+	// neighbour), so the round boundary is a pointer swap, not a copy.
+	msg  []float64 // previous round's messages (read)
+	next []float64 // this round's messages (written)
+	out  []float64 // marginal readout destination
+	// sweep is r.sweepRange bound once; round hands this pre-existing func
+	// value to par.ForMaxCtx instead of minting a closure per round.
+	sweep func(start, end int) float64
+}
+
+// newBPRun assembles the run state over pooled message buffers, seeding the
+// messages from warm beliefs when compatible and uniform 0.5 otherwise.
+func newBPRun(b *BP, m *Model, topo *Topology, ev []int8, warm *Beliefs) *bpRun {
+	nEdges := topo.NumDirectedEdges()
+	r := &bpRun{
+		cfg:  &b.cfg,
+		m:    m,
+		topo: topo,
+		ev:   ev,
+		n:    m.NumRoads(),
+		msg:  b.getBuf(nEdges),
+		next: b.getBuf(nEdges),
+	}
+	r.sweep = r.sweepRange
+	if warm.Compatible(topo) {
+		copy(r.msg, warm.msg)
+		bpWarmStarts.Inc()
+	} else {
+		for i := range r.msg {
+			r.msg[i] = 0.5
+		}
+	}
+	return r
+}
+
+// nodePot returns the unnormalised (up, down) potential of u given
+// evidence, excluding incoming messages.
+func (r *bpRun) nodePot(u int) (up, down float64) {
+	switch r.ev[u] {
+	case 1:
+		return 1, 0
+	case 0:
+		return 0, 1
+	default:
+		return r.m.prior[u], 1 - r.m.prior[u]
+	}
+}
+
+// sweepRange is one Jacobi message update over nodes [start, end),
+// returning the largest message change in the range. It reads r.msg and
+// writes disjoint slots of r.next, so par may run ranges concurrently.
+func (r *bpRun) sweepRange(start, end int) float64 {
+	damping := r.cfg.Damping
+	var localMax float64
+	for u := start; u < end; u++ {
+		lo, hi := int(r.topo.off[u]), int(r.topo.off[u+1])
+		if lo == hi {
+			continue
+		}
+		phiUp, phiDown := r.nodePot(u)
+		// Product of all incoming messages, in log space for stability.
+		var logUp, logDown float64
+		for i := lo; i < hi; i++ {
+			p := r.msg[i]
+			logUp += math.Log(clamp01(p))
+			logDown += math.Log(clamp01(1 - p))
+		}
+		for i := lo; i < hi; i++ {
+			// Cavity: remove the receiving neighbour's own message.
+			cUp := logUp - math.Log(clamp01(r.msg[i]))
+			cDown := logDown - math.Log(clamp01(1-r.msg[i]))
+			hUp := phiUp * math.Exp(cUp)
+			hDown := phiDown * math.Exp(cDown)
+			// Marginalise over x_u for each x_v.
+			a := r.m.agreement(r.topo.agree[i])
+			mUp := hUp*edgePotential(a, true) + hDown*edgePotential(a, false)
+			mDown := hUp*edgePotential(a, false) + hDown*edgePotential(a, true)
+			z := mUp + mDown
+			if z <= 0 || math.IsNaN(z) {
+				mUp, mDown, z = 0.5, 0.5, 1
+			}
+			newMsg := mUp / z
+			slot := r.topo.rev[i]
+			old := r.msg[slot]
+			damped := (1-damping)*newMsg + damping*old
+			r.next[slot] = damped
+			if d := math.Abs(damped - old); d > localMax {
+				localMax = d
+			}
+		}
+	}
+	return localMax
+}
+
+// round runs one full Jacobi sweep across the worker pool and swaps the
+// message buffers, returning the round's largest message change.
+func (r *bpRun) round(ctx context.Context) (float64, error) {
+	maxDelta, err := par.ForMaxCtx(ctx, r.n, r.cfg.Workers, r.sweep)
+	if err != nil {
+		return 0, err
+	}
+	r.msg, r.next = r.next, r.msg
+	return maxDelta, nil
+}
+
+// readoutRange computes the final marginals for nodes [start, end) from the
+// converged messages into r.out.
+func (r *bpRun) readoutRange(start, end int) {
+	for u := start; u < end; u++ {
+		phiUp, phiDown := r.nodePot(u)
+		logUp, logDown := math.Log(clamp01(phiUp)), math.Log(clamp01(phiDown))
+		//lint:ignore floateq exact zero is the log-domain sentinel: a clamped potential of 0 must map to -Inf
+		if phiUp == 0 {
+			logUp = math.Inf(-1)
+		}
+		//lint:ignore floateq exact zero is the log-domain sentinel: a clamped potential of 0 must map to -Inf
+		if phiDown == 0 {
+			logDown = math.Inf(-1)
+		}
+		for i := int(r.topo.off[u]); i < int(r.topo.off[u+1]); i++ {
+			logUp += math.Log(clamp01(r.msg[i]))
+			logDown += math.Log(clamp01(1 - r.msg[i]))
+		}
+		mx := math.Max(logUp, logDown)
+		pu := math.Exp(logUp - mx)
+		pd := math.Exp(logDown - mx)
+		r.out[u] = pu / (pu + pd)
+	}
+}
+
+// release returns the pooled message buffers. par joins all workers before
+// reporting cancellation, so no goroutine still writes to them.
+func (r *bpRun) release(b *BP) {
+	//lint:hotpath-ok sync.Pool.Put takes any, so the slice header is boxed; pooling a *[]float64 instead costs the same one allocation with extra indirection
+	b.pool.Put(r.msg[:cap(r.msg)])
+	//lint:hotpath-ok sync.Pool.Put takes any, so the slice header is boxed; pooling a *[]float64 instead costs the same one allocation with extra indirection
+	b.pool.Put(r.next[:cap(r.next)])
+}
+
 // Infer implements Engine. Messages are represented by their "up"
 // probability; with binary states the "down" component is implied.
 //
@@ -111,8 +265,7 @@ func (b *BP) getBuf(size int) []float64 {
 // Cancellation is observed between message rounds (and, through par's
 // ctx-aware loops, between chunks inside a round): a cancelled ctx aborts
 // the run with an error wrapping ctx.Err(). The pooled message buffers are
-// returned on every exit path — par joins all workers before reporting
-// cancellation, so no goroutine still writes to them.
+// returned on every exit path.
 //
 // When warm holds beliefs compatible with the model's topology, messages
 // start from that converged state instead of uniform; fixed-point messages
@@ -129,93 +282,16 @@ func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *Bel
 	if err != nil {
 		return nil, err
 	}
-	n := m.NumRoads()
-	nEdges := topo.NumDirectedEdges()
-
-	// Directed-edge message storage in the topology's CSR layout: slot i in
-	// [off[u], off[u+1]) is the message from neighbour to[i] into u, as
-	// P(up). Initialise uniform, or from warm beliefs when their topology
-	// shares this one's shape. Every slot is rewritten each round (its
-	// sender always has ≥ 1 neighbour), so the round boundary is a pointer
-	// swap, not a copy.
-	msg := b.getBuf(nEdges)
-	next := b.getBuf(nEdges)
-	defer func() {
-		b.pool.Put(msg[:cap(msg)])
-		b.pool.Put(next[:cap(next)])
-	}()
-	if warm.Compatible(topo) {
-		copy(msg, warm.msg)
-		bpWarmStarts.Inc()
-	} else {
-		for i := range msg {
-			msg[i] = 0.5
-		}
-	}
-
-	// nodePot returns the unnormalised (up, down) potential of u given
-	// evidence, excluding incoming messages.
-	nodePot := func(u int) (up, down float64) {
-		switch ev[u] {
-		case 1:
-			return 1, 0
-		case 0:
-			return 0, 1
-		default:
-			return m.prior[u], 1 - m.prior[u]
-		}
-	}
+	r := newBPRun(b, m, topo, ev, warm)
+	defer r.release(b)
 
 	iters := 0
 	lastDelta := math.Inf(1)
-	damping := b.cfg.Damping
 	for iter := 0; iter < b.cfg.MaxIterations; iter++ {
-		maxDelta, roundErr := par.ForMaxCtx(ctx, n, b.cfg.Workers, func(start, end int) float64 {
-			var localMax float64
-			for u := start; u < end; u++ {
-				lo, hi := int(topo.off[u]), int(topo.off[u+1])
-				if lo == hi {
-					continue
-				}
-				phiUp, phiDown := nodePot(u)
-				// Product of all incoming messages, in log space for
-				// stability.
-				var logUp, logDown float64
-				for i := lo; i < hi; i++ {
-					p := msg[i]
-					logUp += math.Log(clamp01(p))
-					logDown += math.Log(clamp01(1 - p))
-				}
-				for i := lo; i < hi; i++ {
-					// Cavity: remove the receiving neighbour's own message.
-					cUp := logUp - math.Log(clamp01(msg[i]))
-					cDown := logDown - math.Log(clamp01(1-msg[i]))
-					hUp := phiUp * math.Exp(cUp)
-					hDown := phiDown * math.Exp(cDown)
-					// Marginalise over x_u for each x_v.
-					a := m.agreement(topo.agree[i])
-					mUp := hUp*edgePotential(a, true) + hDown*edgePotential(a, false)
-					mDown := hUp*edgePotential(a, false) + hDown*edgePotential(a, true)
-					z := mUp + mDown
-					if z <= 0 || math.IsNaN(z) {
-						mUp, mDown, z = 0.5, 0.5, 1
-					}
-					newMsg := mUp / z
-					slot := topo.rev[i]
-					old := msg[slot]
-					damped := (1-damping)*newMsg + damping*old
-					next[slot] = damped
-					if d := math.Abs(damped - old); d > localMax {
-						localMax = d
-					}
-				}
-			}
-			return localMax
-		})
+		maxDelta, roundErr := r.round(ctx)
 		if roundErr != nil {
 			return nil, fmt.Errorf("mrf: bp cancelled after %d rounds: %w", iter, roundErr)
 		}
-		msg, next = next, msg
 		iters = iter + 1
 		lastDelta = maxDelta
 		if maxDelta < b.cfg.Tolerance {
@@ -229,36 +305,16 @@ func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *Bel
 		bpNonConverged.Inc()
 	}
 
-	out := make([]float64, n)
-	readErr := par.ForCtx(ctx, n, b.cfg.Workers, func(start, end int) {
-		for u := start; u < end; u++ {
-			phiUp, phiDown := nodePot(u)
-			logUp, logDown := math.Log(clamp01(phiUp)), math.Log(clamp01(phiDown))
-			//lint:ignore floateq exact zero is the log-domain sentinel: a clamped potential of 0 must map to -Inf
-			if phiUp == 0 {
-				logUp = math.Inf(-1)
-			}
-			//lint:ignore floateq exact zero is the log-domain sentinel: a clamped potential of 0 must map to -Inf
-			if phiDown == 0 {
-				logDown = math.Inf(-1)
-			}
-			for i := int(topo.off[u]); i < int(topo.off[u+1]); i++ {
-				logUp += math.Log(clamp01(msg[i]))
-				logDown += math.Log(clamp01(1 - msg[i]))
-			}
-			mx := math.Max(logUp, logDown)
-			pu := math.Exp(logUp - mx)
-			pd := math.Exp(logDown - mx)
-			out[u] = pu / (pu + pd)
-		}
-	})
-	if readErr != nil {
+	r.out = make([]float64, r.n)
+	if readErr := par.ForCtx(ctx, r.n, b.cfg.Workers, r.readoutRange); readErr != nil {
 		return nil, fmt.Errorf("mrf: bp marginal readout cancelled: %w", readErr)
 	}
-	// Export the converged messages (msg is pooled, so copy) for callers
+	// Export the converged messages (r.msg is pooled, so copy) for callers
 	// that warm-start a successor model over the same topology shape.
-	beliefs := &Beliefs{topo: topo, msg: append([]float64(nil), msg...)}
-	return &Result{PUp: out, Beliefs: beliefs}, nil
+	exported := make([]float64, len(r.msg))
+	copy(exported, r.msg)
+	beliefs := &Beliefs{topo: topo, msg: exported}
+	return &Result{PUp: r.out, Beliefs: beliefs}, nil
 }
 
 // clamp01 keeps probabilities strictly inside (0, 1) for log safety.

@@ -39,7 +39,7 @@ func (e Exact) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *B
 	if err != nil {
 		return nil, err
 	}
-	var free []int
+	free := make([]int, 0, len(ev))
 	for i, v := range ev {
 		if v == -1 {
 			free = append(free, i)
@@ -146,6 +146,7 @@ func (ic ICM) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *Be
 		}
 	}
 	g := m.graph
+	//lint:hotpath-ok ICM is an ablation engine, not the serving default; one scoring closure per Infer, not per sweep
 	scoreOf := func(u int, up bool) float64 {
 		p := m.prior[u]
 		var s float64
@@ -239,6 +240,7 @@ func (gb Gibbs) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *
 		}
 	}
 	g := m.graph
+	//lint:hotpath-ok Gibbs is an ablation engine, not the serving default; one conditional closure per Infer, not per sweep
 	condUp := func(u int) float64 {
 		logUp := math.Log(clamp01(m.prior[u]))
 		logDown := math.Log(clamp01(1 - m.prior[u]))

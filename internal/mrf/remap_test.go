@@ -1,0 +1,204 @@
+package mrf
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/corr"
+	"repro/internal/roadnet"
+)
+
+// TestBeliefsRemapDisjointEdgeSets: remapping onto a same-node-count topology
+// that shares NO directed edge with the source — every edge "renamed" — must
+// degrade gracefully to the uniform state: all slots 0.5, still Compatible
+// with the target, and a BP run seeded with it is counted as a warm start yet
+// reaches a bit-identical result to a cold start (uniform warm ≡ cold init).
+func TestBeliefsRemapDisjointEdgeSets(t *testing.T) {
+	const n = 24
+	// Source: a chain 0-1-...-23. Target: pairs (0,12), (1,13), ... — no
+	// directed edge survives the drift.
+	src := chainGraph(t, n, 0.8)
+	var es []corr.EdgeSpec
+	for i := 0; i < n/2; i++ {
+		es = append(es, corr.EdgeSpec{U: roadnet.RoadID(i), V: roadnet.RoadID(i + n/2), Agreement: 0.7, N: 50})
+	}
+	dst := mustGraph(t, n, es)
+	topoSrc, err := NewTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoDst, err := NewTopology(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := mustBP(t)
+	priors := uniformPriors(n, 0.6)
+	mSrc, err := NewModelWithTopology(topoSrc, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bp.Infer(context.Background(), mSrc, []Evidence{{Road: 0, Up: true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remapped := res.Beliefs.Remap(topoDst)
+	if remapped == nil {
+		t.Fatal("Remap returned nil for a same-node-count topology")
+	}
+	if !remapped.Compatible(topoDst) {
+		t.Fatal("remapped beliefs not compatible with the disjoint target")
+	}
+	if got, want := remapped.NumMessages(), topoDst.NumDirectedEdges(); got != want {
+		t.Fatalf("remapped beliefs hold %d messages, want %d", got, want)
+	}
+	for i, v := range remapped.msg {
+		if v != 0.5 {
+			t.Fatalf("slot %d: disjoint remap kept message %v, want uniform 0.5", i, v)
+		}
+	}
+
+	// Seeding from the all-uniform remap is a warm start by the counter
+	// contract (the beliefs ARE compatible) but must change nothing: the
+	// result is bit-identical to cold, and no miss is ever counted by BP.
+	mDst, err := NewModelWithTopology(topoDst, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := []Evidence{{Road: 2, Up: false}}
+	missBefore, warmBefore := warmStartMisses.Value(), bpWarmStarts.Value()
+	cold, err := bp.Infer(context.Background(), mDst, ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bpWarmStarts.Value(); got != warmBefore {
+		t.Fatalf("cold run counted as warm start (%v -> %v)", warmBefore, got)
+	}
+	warm, err := bp.Infer(context.Background(), mDst, ev, remapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bpWarmStarts.Value(); got != warmBefore+1 {
+		t.Fatalf("uniform remap not counted as warm start (%v -> %v)", warmBefore, got)
+	}
+	if got := warmStartMisses.Value(); got != missBefore {
+		t.Fatalf("BP counted a warm-start miss (%v -> %v)", missBefore, got)
+	}
+	for i := range cold.PUp {
+		if cold.PUp[i] != warm.PUp[i] {
+			t.Fatalf("road %d: uniform-remap warm start changed the marginal (%v vs %v)", i, warm.PUp[i], cold.PUp[i])
+		}
+	}
+}
+
+// TestBeliefsRemapNodeCountMismatch: node-count drift makes edge identity
+// meaningless, so Remap refuses (nil) and the caller falls through to the
+// cold path — where handing the stale, incompatible beliefs straight to an
+// engine is the mistake the miss counter exists to surface.
+func TestBeliefsRemapNodeCountMismatch(t *testing.T) {
+	const n = 12
+	bp := mustBP(t)
+	m := mustModel(t, chainGraph(t, n, 0.8), uniformPriors(n, 0.5))
+	res, err := bp.Infer(context.Background(), m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewTopology(chainGraph(t, n+1, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Beliefs.Remap(grown); got != nil {
+		t.Fatal("Remap accepted a grown topology")
+	}
+	// The documented fallback: a caller that skips Remap and passes the stale
+	// beliefs to a stateless engine is counted as exactly one miss; BP with
+	// the same stale beliefs silently cold-starts and counts neither a warm
+	// start nor a miss (it is not a *missed* warm start to BP — the check is
+	// cheap and the caller may not know the topology changed).
+	mGrown, err := NewModelWithTopology(grown, uniformPriors(n+1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	missBefore := warmStartMisses.Value()
+	if _, err := (PriorOnly{}).Infer(context.Background(), mGrown, nil, res.Beliefs); err != nil {
+		t.Fatal(err)
+	}
+	if got := warmStartMisses.Value(); got != missBefore+1 {
+		t.Fatalf("stale beliefs into PriorOnly: miss counter %v -> %v, want exactly +1", missBefore, got)
+	}
+	warmBefore := bpWarmStarts.Value()
+	missBefore = warmStartMisses.Value()
+	if _, err := bp.Infer(context.Background(), mGrown, nil, res.Beliefs); err != nil {
+		t.Fatal(err)
+	}
+	if got := bpWarmStarts.Value(); got != warmBefore {
+		t.Fatalf("incompatible beliefs counted as BP warm start (%v -> %v)", warmBefore, got)
+	}
+	if got := warmStartMisses.Value(); got != missBefore {
+		t.Fatalf("BP counted a warm-start miss (%v -> %v)", missBefore, got)
+	}
+}
+
+// TestBeliefsRemapEmptyTopologies: the degenerate ends of edge-set drift — a
+// topology with no edges at all on either side of the remap.
+func TestBeliefsRemapEmptyTopologies(t *testing.T) {
+	const n = 8
+	edgeless := mustGraph(t, n, nil)
+	topoEmpty, err := NewTopology(edgeless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoChain, err := NewTopology(chainGraph(t, n, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := mustBP(t)
+
+	// Empty beliefs (a BP run over the edgeless graph exports zero messages)
+	// remapped onto a real topology: every slot starts uniform.
+	mEmpty, err := NewModelWithTopology(topoEmpty, uniformPriors(n, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resEmpty, err := bp.Infer(context.Background(), mEmpty, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEmpty.Beliefs == nil || resEmpty.Beliefs.NumMessages() != 0 {
+		t.Fatalf("edgeless BP run exported %v, want empty beliefs", resEmpty.Beliefs)
+	}
+	ontoChain := resEmpty.Beliefs.Remap(topoChain)
+	if ontoChain == nil || !ontoChain.Compatible(topoChain) {
+		t.Fatal("empty beliefs did not remap onto the chain topology")
+	}
+	for i, v := range ontoChain.msg {
+		if v != 0.5 {
+			t.Fatalf("slot %d: remap from empty beliefs kept %v, want 0.5", i, v)
+		}
+	}
+
+	// Real beliefs remapped onto the edgeless topology: zero slots survive,
+	// and the (empty) result is still a valid, compatible warm start.
+	mChain, err := NewModelWithTopology(topoChain, uniformPriors(n, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resChain, err := bp.Infer(context.Background(), mChain, []Evidence{{Road: 1, Up: true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ontoEmpty := resChain.Beliefs.Remap(topoEmpty)
+	if ontoEmpty == nil || !ontoEmpty.Compatible(topoEmpty) {
+		t.Fatal("chain beliefs did not remap onto the edgeless topology")
+	}
+	if ontoEmpty.NumMessages() != 0 {
+		t.Fatalf("remap onto an edgeless topology holds %d messages, want 0", ontoEmpty.NumMessages())
+	}
+	warmBefore := bpWarmStarts.Value()
+	if _, err := bp.Infer(context.Background(), mEmpty, nil, ontoEmpty); err != nil {
+		t.Fatal(err)
+	}
+	if got := bpWarmStarts.Value(); got != warmBefore+1 {
+		t.Fatalf("empty-but-compatible warm start not counted (%v -> %v)", warmBefore, got)
+	}
+}

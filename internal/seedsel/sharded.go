@@ -72,6 +72,7 @@ func SelectShardedCtx(ctx context.Context, shards []ShardProblem, k int) ([]Shar
 	// O(candidates · influence) part of the run.
 	uncovered := make([][]float64, len(shards))
 	heaps := make([]lazyHeap, len(shards))
+	//lint:hotpath-ok one task closure per heap-fill fan-out (a handful of shards, each doing O(candidates·influence) work); EachCtx's task-level API takes a closure by design
 	if err := par.EachCtx(ctx, len(shards), 0, func(i int) error {
 		p := shards[i].Problem
 		uncovered[i] = p.newUncovered()
