@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/history"
+	"repro/internal/mrf"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
@@ -72,6 +73,7 @@ func main() {
 		maxEst      = flag.Int("max-inflight-estimates", 2*runtime.GOMAXPROCS(0), "max concurrent estimation rounds before excess requests are shed with 429 (0 disables admission control)")
 		shards      = flag.Int("shards", 1, "partition the network into this many district shards with boundary stitching (1 = unsharded)")
 		stitchRnds  = flag.Int("stitch-rounds", 0, "BP/stitch exchange rounds per estimate on sharded deployments (0 = default)")
+		engine      = flag.String("engine", "bp", "trend-inference engine: bp (Jacobi reference), fastbp (residual-scheduled float32), icm, gibbs, exact or prior")
 		logFormat   = flag.String("log-format", "json", "per-request structured log encoding on stderr: json or text")
 		logLevel    = flag.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
 	)
@@ -122,6 +124,14 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Shards = *shards
 	opts.StitchRounds = *stitchRnds
+	if *engine != "bp" { // "bp" is core's default; leaving Engine nil keeps its construction path
+		eng, err := mrf.NewEngine(*engine, opts.BP)
+		if err != nil {
+			log.Fatalf("bad -engine: %v", err)
+		}
+		opts.Engine = eng
+		log.Printf("trend engine: %s", eng.Name())
+	}
 	if *shards > 1 {
 		log.Printf("training %d district shards over %d roads...", *shards, net.NumRoads())
 	} else {

@@ -84,3 +84,39 @@ func TestBPInferWarmPathAllocs(t *testing.T) {
 			allocs, maxFixed, bp.cfg.MaxIterations)
 	}
 }
+
+// TestFastBPInferWarmPathAllocs extends the alloc pins to the float32 path:
+// with the run pool warm and compatible beliefs, a FastBP Infer allocates
+// only its fixed per-run state — independent of how many node updates the
+// schedule performs. The bucket queue is intrusive (pooled prev/next/head
+// arrays), so scheduling itself must contribute nothing.
+func TestFastBPInferWarmPathAllocs(t *testing.T) {
+	const n = 64
+	fast, err := NewFastBP(BPConfig{MaxIterations: 40, Damping: 0.3, Tolerance: 1e-6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, chainGraph(t, n, 0.8), uniformPriors(n, 0.5))
+	ctx := context.Background()
+	res, err := fast.Infer(ctx, m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := res.Beliefs
+	var inferErr error
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := fast.Infer(ctx, m, nil, warm); err != nil {
+			inferErr = err
+		}
+	})
+	if inferErr != nil {
+		t.Fatal(inferErr)
+	}
+	// Fixed per-run state: evidence map, pooled-run get, readout slice,
+	// exported float64 beliefs + struct, result struct. Same scaling logic
+	// as the Jacobi pin: one allocation per node update would need ≫ 20.
+	const maxFixed = 20
+	if allocs > maxFixed {
+		t.Fatalf("warm FastBP Infer allocates %.1f times per run, want ≤ %d fixed (independent of schedule length)", allocs, maxFixed)
+	}
+}

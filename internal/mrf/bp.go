@@ -16,21 +16,54 @@ import (
 // these are first-class signals for every perf PR (see internal/obs).
 // Buffer-reuse counts how often a run served its message arrays from the
 // sync.Pool instead of allocating; with a warm pool it tracks bpRuns.
+//
+// Metric contract (every message-passing engine — BP and FastBP — honours
+// it; DESIGN.md §15): trendspeed_bp_runs_total counts every run, including
+// runs cancelled mid-schedule; trendspeed_bp_iterations observes the
+// effective rounds of every run, with cancelled runs contributing their
+// partial progress; trendspeed_bp_cancelled_total counts the cancelled
+// subset; trendspeed_bp_final_residual is observed only by runs that
+// completed their schedule (a cancelled run has no meaningful residual);
+// trendspeed_bp_message_updates_total accumulates directed-edge message
+// computations across all runs, cancelled ones included.
 var (
 	bpIterations = obs.Default().Histogram("trendspeed_bp_iterations",
-		"Loopy-BP message-passing rounds until convergence (or MaxIterations).",
+		"Loopy-BP message-passing rounds until convergence (or MaxIterations); cancelled runs contribute their partial round count.",
 		obs.LinearBuckets(5, 5, 12))
-	bpFinalResidual = obs.Default().Gauge("trendspeed_bp_final_residual",
-		"Largest message change in the last BP round of the most recent run.")
+	bpFinalResidual = obs.Default().Histogram("trendspeed_bp_final_residual",
+		"Largest undamped message change in the last round of each completed BP run, log-bucketed.",
+		obs.ExponentialBuckets(1e-8, 10, 9))
 	bpNonConverged = obs.Default().Counter("trendspeed_bp_nonconverged_total",
 		"BP runs that exhausted MaxIterations above Tolerance.")
 	bpRuns = obs.Default().Counter("trendspeed_bp_runs_total",
-		"Total BP inference runs.")
+		"Total BP inference runs, including runs cancelled mid-schedule.")
+	bpCancelled = obs.Default().Counter("trendspeed_bp_cancelled_total",
+		"BP runs abandoned mid-schedule because the caller's context was cancelled or its deadline expired.")
+	bpMessageUpdates = obs.Default().Counter("trendspeed_bp_message_updates_total",
+		"Directed-edge message computations across all BP runs (Jacobi: rounds × directed edges; FastBP: scheduled updates only).")
 	bpBufReuse = obs.Default().Counter("trendspeed_bp_buffer_reuse_total",
 		"BP message buffers served from the pool instead of freshly allocated.")
 	bpWarmStarts = obs.Default().Counter("trendspeed_bp_warm_starts_total",
 		"BP runs seeded from prior converged beliefs instead of uniform messages.")
 )
+
+// MessageUpdatesTotal reports the process-wide directed-edge message-update
+// count (trendspeed_bp_message_updates_total). cmd/benchrunner reads deltas
+// of it around engine runs to compare effective work between the Jacobi and
+// residual-scheduled engines without scraping the metrics registry.
+func MessageUpdatesTotal() float64 { return bpMessageUpdates.Value() }
+
+// accountCancelledRun records the telemetry of a run abandoned mid-schedule:
+// the run still counts (bpRuns), its partial progress still lands in the
+// iteration histogram and the update counter — under deadline pressure the
+// cancelled runs are exactly the ones an operator needs to see — and the
+// cancellation itself is counted separately.
+func accountCancelledRun(effectiveRounds, messageUpdates float64) {
+	bpRuns.Inc()
+	bpIterations.Observe(effectiveRounds)
+	bpMessageUpdates.Add(messageUpdates)
+	bpCancelled.Inc()
+}
 
 // BPConfig parameterises loopy belief propagation.
 type BPConfig struct {
@@ -199,9 +232,12 @@ func (r *bpRun) sweepRange(start, end int) float64 {
 			newMsg := mUp / z
 			slot := r.topo.rev[i]
 			old := r.msg[slot]
-			damped := (1-damping)*newMsg + damping*old
-			r.next[slot] = damped
-			if d := math.Abs(damped - old); d > localMax {
+			r.next[slot] = (1-damping)*newMsg + damping*old
+			// Convergence tracks the undamped delta |new − old|: damping
+			// scales the stored step by (1−d) but not the distance to the
+			// fixed point, so testing the damped step against Tolerance
+			// stops while the true change is still Tolerance/(1−d).
+			if d := math.Abs(newMsg - old); d > localMax {
 				localMax = d
 			}
 		}
@@ -285,11 +321,13 @@ func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *Bel
 	r := newBPRun(b, m, topo, ev, warm)
 	defer r.release(b)
 
+	nEdges := float64(topo.NumDirectedEdges())
 	iters := 0
 	lastDelta := math.Inf(1)
 	for iter := 0; iter < b.cfg.MaxIterations; iter++ {
 		maxDelta, roundErr := r.round(ctx)
 		if roundErr != nil {
+			accountCancelledRun(float64(iter), float64(iter)*nEdges)
 			return nil, fmt.Errorf("mrf: bp cancelled after %d rounds: %w", iter, roundErr)
 		}
 		iters = iter + 1
@@ -300,13 +338,17 @@ func (b *BP) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *Bel
 	}
 	bpRuns.Inc()
 	bpIterations.Observe(float64(iters))
-	bpFinalResidual.Set(lastDelta)
+	bpMessageUpdates.Add(float64(iters) * nEdges)
+	bpFinalResidual.Observe(lastDelta)
 	if lastDelta >= b.cfg.Tolerance {
 		bpNonConverged.Inc()
 	}
 
 	r.out = make([]float64, r.n)
 	if readErr := par.ForCtx(ctx, r.n, b.cfg.Workers, r.readoutRange); readErr != nil {
+		// The message schedule completed, so the run is already accounted
+		// above; only the cancellation itself still needs counting.
+		bpCancelled.Inc()
 		return nil, fmt.Errorf("mrf: bp marginal readout cancelled: %w", readErr)
 	}
 	// Export the converged messages (r.msg is pooled, so copy) for callers

@@ -31,7 +31,7 @@ func TestEnginesCancelledAtEntry(t *testing.T) {
 	m := mustModel(t, chainGraph(t, 6, 0.8), uniformPriors(6, 0.5))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	engines := []Engine{mustBP(t), Exact{}, ICM{}, Gibbs{Burn: 5, Samples: 10, Seed: 1}, PriorOnly{}}
+	engines := []Engine{mustBP(t), mustFastBP(t), Exact{}, ICM{}, Gibbs{Burn: 5, Samples: 10, Seed: 1}, PriorOnly{}}
 	for _, eng := range engines {
 		res, err := eng.Infer(ctx, m, []Evidence{{Road: 0, Up: true}}, nil)
 		if !errors.Is(err, context.Canceled) {

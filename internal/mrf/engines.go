@@ -284,3 +284,31 @@ func (gb Gibbs) Infer(ctx context.Context, m *Model, evidence []Evidence, warm *
 	}
 	return &Result{PUp: out}, nil
 }
+
+// EngineNames lists the names NewEngine accepts, in help-text order.
+func EngineNames() []string {
+	return []string{"bp", "fastbp", "icm", "gibbs", "exact", "prior"}
+}
+
+// NewEngine returns the trend-inference engine registered under name. The
+// message-passing engines (bp, fastbp) take their parameters from cfg; the
+// ablation engines (icm, gibbs, exact, prior) use their zero-value defaults.
+// It is the single construction point for operator-facing engine selection
+// (speedserver -engine, benchrunner sweeps).
+func NewEngine(name string, cfg BPConfig) (Engine, error) {
+	switch name {
+	case "bp":
+		return NewBP(cfg)
+	case "fastbp":
+		return NewFastBP(cfg)
+	case "icm":
+		return ICM{}, nil
+	case "gibbs":
+		return Gibbs{}, nil
+	case "exact":
+		return Exact{}, nil
+	case "prior":
+		return PriorOnly{}, nil
+	}
+	return nil, fmt.Errorf("mrf: unknown engine %q (want one of %v)", name, EngineNames())
+}

@@ -128,39 +128,54 @@ func gridForBench(w, h int) (*corr.Graph, []float64, error) {
 	return g, priors, nil
 }
 
-// BenchmarkBPInfer measures one BP run over a lattice at two scales with the
-// topology shared across iterations — the estimator's per-round
-// configuration. allocs/op is the headline: message structure must come from
-// the pool, not per-run rebuilds.
+// BenchmarkBPInfer measures one inference run over a lattice at two scales
+// with the topology shared across iterations — the estimator's per-round
+// configuration — for both the Jacobi reference and the residual-scheduled
+// engine. allocs/op is one headline (message structure must come from the
+// pool, not per-run rebuilds); msg-updates/op is the other: FastBP's
+// schedule must do several times fewer effective message updates than
+// Jacobi's full sweeps for the same fixed point.
 func BenchmarkBPInfer(b *testing.B) {
+	engines := []struct {
+		name string
+		make func() (Engine, error)
+	}{
+		{"bp", func() (Engine, error) { return NewBP(DefaultBPConfig()) }},
+		{"fastbp", func() (Engine, error) { return NewFastBP(DefaultBPConfig()) }},
+	}
 	for _, sz := range []struct{ w, h int }{{24, 16}, {64, 48}} {
-		b.Run(fmt.Sprintf("roads=%d", sz.w*sz.h), func(b *testing.B) {
-			g, priors, err := gridForBench(sz.w, sz.h)
-			if err != nil {
-				b.Fatal(err)
-			}
-			topo, err := NewTopology(g)
-			if err != nil {
-				b.Fatal(err)
-			}
-			bp, err := NewBP(DefaultBPConfig())
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				m, err := NewModelWithTopology(topo, priors)
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("roads=%d/%s", sz.w*sz.h, e.name), func(b *testing.B) {
+				g, priors, err := gridForBench(sz.w, sz.h)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := m.SetEdgeTemper(0.2); err != nil {
+				topo, err := NewTopology(g)
+				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := bp.Infer(context.Background(), m, nil, nil); err != nil {
+				eng, err := e.make()
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				b.ReportAllocs()
+				updatesBefore := MessageUpdatesTotal()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := NewModelWithTopology(topo, priors)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := m.SetEdgeTemper(0.2); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.Infer(context.Background(), m, nil, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric((MessageUpdatesTotal()-updatesBefore)/float64(b.N), "msg-updates/op")
+			})
+		}
 	}
 }
